@@ -1,0 +1,52 @@
+"""Benchmark harness plumbing.
+
+Each benchmark runs one experiment driver (a full table/figure
+reproduction) under ``pytest-benchmark`` and registers the resulting
+:class:`~repro.analysis.report.FigureReport`.  At the end of the session
+every report is printed as a paper-versus-measured table, so
+``pytest benchmarks/ --benchmark-only`` regenerates the paper's results
+in one run.
+"""
+
+from typing import Dict, List
+
+import pytest
+
+_REPORTS: List = []
+
+
+@pytest.fixture
+def record_report():
+    """Fixture: register a FigureReport for the end-of-session summary."""
+
+    def _record(report):
+        _REPORTS.append(report)
+        return report
+
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiment drivers are deterministic and take seconds, so there
+    is no value in pytest-benchmark's default multi-round calibration.
+    """
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return _run
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("Venice reproduction: paper versus measured")
+    for report in _REPORTS:
+        terminalreporter.write_line("")
+        for line in report.to_text().splitlines():
+            terminalreporter.write_line(line)
+    _REPORTS.clear()

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 3 -- remote memory over commodity interconnects."""
+
+from repro.experiments.fig03_commodity import PAPER_REFERENCE, run_fig03
+
+
+def test_bench_fig03_commodity_interconnects(run_once, record_report):
+    report = run_once(run_fig03)
+    record_report(report)
+    slowdowns = report.series["slowdown_vs_all_local"]
+    # Paper shape: every commodity path is at least several times slower
+    # than all-local memory, with the Figure 3 ordering.
+    assert slowdowns["ethernet_swap"] > slowdowns["infiniband_srp"] \
+        > slowdowns["pcie_rdma"] > 5.0
+    assert slowdowns["pcie_ldst_commodity"] == max(slowdowns.values())
+    assert slowdowns["pcie_ldst_fixed"] < slowdowns["pcie_ldst_commodity"] / 5
+    assert set(slowdowns) == set(PAPER_REFERENCE)

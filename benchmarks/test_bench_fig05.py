@@ -1,0 +1,28 @@
+"""Benchmark: Figure 5 -- impact of architectural support for remote access."""
+
+from repro.experiments.fig05_arch_support import (
+    CONFIGURATIONS,
+    PAPER_REFERENCE_BERKELEYDB,
+    PAPER_REFERENCE_PAGERANK,
+    run_fig05,
+)
+
+
+def test_bench_fig05_architectural_support(run_once, record_report):
+    report = run_once(run_fig05)
+    record_report(report)
+    pagerank = report.series["pagerank"]
+    berkeleydb = report.series["berkeleydb"]
+    assert set(pagerank) == set(CONFIGURATIONS) == set(PAPER_REFERENCE_PAGERANK)
+    assert set(berkeleydb) == set(PAPER_REFERENCE_BERKELEYDB)
+    for series in (pagerank, berkeleydb):
+        # On-chip beats off-chip; CRMA beats QPair messaging.
+        assert series["on_chip_crma"] < series["off_chip_crma"]
+        assert series["on_chip_qpair"] < series["off_chip_qpair"]
+        assert series["on_chip_crma"] < series["on_chip_qpair"]
+        # Remote-access penalties stay in the paper's "tolerable" band
+        # for the hardware-supported path (roughly 2-4x).
+        assert 1.2 < series["on_chip_crma"] < 4.0
+    # Asynchrony hides latency for PageRank but not for BerkeleyDB.
+    assert pagerank["async_on_chip_qpair"] < 0.6 * pagerank["on_chip_qpair"]
+    assert abs(berkeleydb["async_on_chip_qpair"] - berkeleydb["on_chip_qpair"]) < 0.1

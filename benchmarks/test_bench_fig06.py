@@ -1,0 +1,25 @@
+"""Benchmark: Figure 6 -- overhead of a one-level external router."""
+
+from repro.experiments.fig06_router import (
+    PAPER_REFERENCE_BERKELEYDB,
+    PAPER_REFERENCE_PAGERANK,
+    run_fig06,
+)
+
+
+def test_bench_fig06_router_overhead(run_once, record_report):
+    report = run_once(run_fig06)
+    record_report(report)
+    pagerank = report.series["pagerank"]
+    berkeleydb = report.series["berkeleydb"]
+    assert set(pagerank) == set(PAPER_REFERENCE_PAGERANK)
+    assert set(berkeleydb) == set(PAPER_REFERENCE_BERKELEYDB)
+    for series in (pagerank, berkeleydb):
+        # Every configuration pays something for the extra hop, and the
+        # best-performing configuration (on-chip CRMA) pays the most.
+        assert all(value > 0 for value in series.values())
+        assert series["on_chip_crma"] == max(
+            series[name] for name in series if name != "async_on_chip_qpair")
+    # Latency-tolerant software is nearly immune (paper: ~2%).
+    assert report.series["pagerank"]["async_on_chip_qpair"] < \
+        report.series["pagerank"]["on_chip_crma"] / 2

@@ -1,0 +1,35 @@
+"""Benchmark: Figure 13/14 -- the mini data-center memory-sharing study."""
+
+from repro.experiments.fig14_redis_memory import (
+    PAPER_REFERENCE_SUMMARY,
+    run_donor_impact,
+    run_fig14,
+)
+
+
+def test_bench_fig14_redis_memory_sweep(run_once, record_report):
+    report = run_once(run_fig14)
+    record_report(report)
+    remote_times = list(report.series["execution_time_ns_remote"].values())
+    local_times = list(report.series["execution_time_ns_local"].values())
+    miss_rates = list(report.series["miss_rate_percent_remote"].values())
+    # Execution time and miss rate collapse as memory grows.
+    assert all(later < earlier for earlier, later in zip(remote_times, remote_times[1:]))
+    assert all(later < earlier for earlier, later in zip(miss_rates, miss_rates[1:]))
+    # Paper: ~15.7x improvement across the sweep; accept the same order
+    # of magnitude.
+    summary = report.series["summary"]
+    assert 8.0 < summary["speedup_70MB_to_350MB"] < 30.0
+    # Local and remote memory are near-identical while misses dominate,
+    # and the local advantage only shows up at the last point (paper: 7%).
+    for local_time, remote_time in zip(local_times[:-1], remote_times[:-1]):
+        assert abs(remote_time - local_time) / local_time < 0.05
+    assert 0.0 < summary["local_advantage_at_350MB_percent"] < 15.0
+    assert set(summary) == set(PAPER_REFERENCE_SUMMARY)
+
+
+def test_bench_fig14_donor_impact(run_once):
+    impact = run_once(run_donor_impact)
+    before = impact["cc_time_ns_before_donation"]
+    during = impact["cc_time_ns_while_donating"]
+    assert abs(during - before) / before < 0.01

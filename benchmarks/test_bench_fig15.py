@@ -1,0 +1,28 @@
+"""Benchmark: Figure 15 -- remote memory via CRMA versus RDMA swap."""
+
+from repro.experiments.fig15_remote_memory import PAPER_REFERENCE, run_fig15
+
+
+def test_bench_fig15_remote_memory_modes(run_once, record_report):
+    report = run_once(run_fig15)
+    record_report(report)
+    all_local = report.series["all_local"]
+    crma = report.series["crma"]
+    rdma = report.series["rdma_swap"]
+    assert set(all_local) == set(PAPER_REFERENCE["all_local"])
+
+    # Memory is a critical resource: for the random-access in-memory DB
+    # the ideal configuration is orders of magnitude above local swap.
+    assert all_local["inmem_db"] > 50.0
+    # All-local is the upper bound everywhere.
+    for name in all_local:
+        assert all_local[name] >= crma[name]
+        assert all_local[name] >= rdma[name]
+    # Access locality decides the best sharing mode (paper's orderings):
+    # random access favours CRMA, streaming favours RDMA page swapping.
+    assert crma["inmem_db"] > rdma["inmem_db"]
+    assert crma["graph500"] > rdma["graph500"]
+    assert rdma["grep"] > crma["grep"]
+    assert rdma["cc"] > crma["cc"]
+    # The gap between the two modes is non-trivial (paper: up to 6.8x).
+    assert crma["inmem_db"] / rdma["inmem_db"] > 2.0

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 16a -- sharing remote accelerators."""
+
+from repro.experiments.fig16_accel_nic import PAPER_REFERENCE_ACCEL, run_fig16a
+
+
+def test_bench_fig16a_remote_accelerators(run_once, record_report):
+    report = run_once(run_fig16a)
+    record_report(report)
+    for series_name in ("speedup_8MB", "speedup_512MB"):
+        series = report.series[series_name]
+        assert set(series) == set(PAPER_REFERENCE_ACCEL)
+        speedups = [series["LA+1RA"], series["LA+2RA"], series["LA+3RA"]]
+        # Near-linear scaling: each added remote accelerator helps, and
+        # three remote accelerators approach 4x.
+        assert speedups[0] > 1.5
+        assert speedups[1] > speedups[0]
+        assert speedups[2] > speedups[1]
+        assert speedups[2] > 3.0

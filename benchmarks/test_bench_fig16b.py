@@ -1,0 +1,25 @@
+"""Benchmark: Figure 16b -- sharing remote NICs."""
+
+from repro.experiments.fig16_accel_nic import (
+    PAPER_REFERENCE_NIC_SPEEDUP,
+    PAPER_REFERENCE_NIC_UTILIZATION,
+    run_fig16b,
+)
+
+
+def test_bench_fig16b_remote_nics(run_once, record_report):
+    report = run_once(run_fig16b)
+    record_report(report)
+    for label in ("speedup_4B", "speedup_256B"):
+        series = report.series[label]
+        assert set(series) == set(PAPER_REFERENCE_NIC_SPEEDUP)
+        speedups = [series["LN+1RN"], series["LN+2RN"], series["LN+3RN"]]
+        assert speedups[0] > 1.0
+        assert speedups[1] > speedups[0]
+        assert speedups[2] > speedups[1]
+    utilization = report.series["utilization_percent_LN+3RN"]
+    assert set(utilization) == set(PAPER_REFERENCE_NIC_UTILIZATION)
+    # Paper: ~40% of available bandwidth for 4B packets, ~85% for 256B.
+    assert 25.0 < utilization["4B"] < 65.0
+    assert 65.0 < utilization["256B"] <= 100.0
+    assert utilization["256B"] > utilization["4B"] + 15.0

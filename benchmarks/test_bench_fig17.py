@@ -1,0 +1,29 @@
+"""Benchmark: Figure 17 -- multi-modality (no channel replaces the others)."""
+
+from repro.experiments.fig17_channels import (
+    PAPER_REFERENCE,
+    adaptive_selection_matches_best,
+    run_fig17,
+)
+
+
+def test_bench_fig17_channel_comparison(run_once, record_report):
+    report = run_once(run_fig17)
+    record_report(report)
+    assert set(report.series) == set(PAPER_REFERENCE)
+    # Each scenario is won by the channel the paper identifies.
+    assert report.series["inmem_db_random"]["crma"] == 100.0
+    assert report.series["cc_contiguous"]["rdma"] == 100.0
+    assert report.series["iperf_messaging"]["qpair"] == 100.0
+    # The winners are decisive: the runner-up is well below 100.
+    for scenario, series in report.series.items():
+        runner_up = sorted(series.values())[-2]
+        assert runner_up < 80.0
+    # And all three channels are needed (different winners per scenario).
+    winners = {max(series, key=series.get) for series in report.series.values()}
+    assert winners == {"crma", "rdma", "qpair"}
+
+
+def test_bench_fig17_adaptive_library(run_once):
+    outcome = run_once(adaptive_selection_matches_best)
+    assert all(outcome.values())

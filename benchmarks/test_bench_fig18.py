@@ -1,0 +1,19 @@
+"""Benchmark: Figure 18 -- credit flow control over CRMA."""
+
+from repro.experiments.fig18_flow_control import PAPER_REFERENCE, run_fig18
+
+
+def test_bench_fig18_flow_control_improvement(run_once, record_report):
+    report = run_once(run_fig18)
+    record_report(report)
+    improvements = report.series["improvement_percent"]
+    assert set(improvements) == set(PAPER_REFERENCE)
+    # Positive improvement for every packet size, in (or near) the
+    # paper's 28-51% band, and never worse for smaller packets.
+    assert all(value > 10.0 for value in improvements.values())
+    assert all(value < 70.0 for value in improvements.values())
+    assert improvements["4B_word"] >= improvements["128B_quad_cacheline"]
+    # The improved scheme's absolute bandwidth is also higher everywhere.
+    for label in improvements:
+        assert report.series["crma_credit_bandwidth_gbps"][label] > \
+            report.series["qpair_credit_bandwidth_gbps"][label]

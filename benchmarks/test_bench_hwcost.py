@@ -1,0 +1,17 @@
+"""Benchmark: Section 7.3 -- hardware cost of the Venice support."""
+
+from repro.experiments.hardware_cost import PAPER_REFERENCE, run_hardware_cost
+
+
+def test_bench_hardware_cost(run_once, record_report):
+    report = run_once(run_hardware_cost)
+    record_report(report)
+    cost = report.series["hardware_cost"]
+    assert set(cost) == set(PAPER_REFERENCE)
+    # Paper: 2.73 mm^2 logic, 32 KB SRAM, ~3.5 mm^2 of PHYs, ~2% of a
+    # server die, QPair about twice the CRMA logic.
+    assert 2.0 < cost["logic_area_mm2"] < 4.0
+    assert 25.0 < cost["sram_kb"] < 45.0
+    assert 3.0 < cost["phy_area_mm2"] < 4.0
+    assert cost["fraction_of_host_die_percent"] < 3.0
+    assert 1.5 < cost["qpair_to_crma_logic_ratio"] < 2.5

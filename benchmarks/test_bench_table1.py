@@ -1,0 +1,51 @@
+"""Benchmark: Table 1 -- platform configuration sanity.
+
+Not a performance result, but the bench harness regenerates the
+platform table the evaluation runs on and checks it against the paper's
+stated parameters.
+"""
+
+from repro.analysis.report import FigureReport
+from repro.core.config import VeniceConfig
+from repro.core.system import VeniceSystem
+from repro.fabric.packet import HEADER_BYTES
+
+
+def build_table1_report() -> FigureReport:
+    config = VeniceConfig.table1()
+    system = VeniceSystem.build(config)
+    p2p_ns = (config.fabric.link.packet_latency_ns(64 + HEADER_BYTES)
+              + config.fabric.switch.forwarding_latency_ns)
+    report = FigureReport(
+        figure_id="table1",
+        title="Platform configuration",
+    )
+    report.add_series("platform", {
+        "nodes": float(config.num_nodes),
+        "mesh_diameter_hops": float(system.topology.diameter()),
+        "cpu_clock_mhz": config.node.cpu.clock_mhz,
+        "memory_per_node_gb": config.node.dram.capacity_bytes / 2**30,
+        "link_bandwidth_gbps": config.fabric.link.bandwidth_gbps,
+        "lanes_per_node": float(config.fabric.lanes_per_node),
+        "p2p_latency_us": p2p_ns / 1000.0,
+    }, reference={
+        "nodes": 8.0,
+        "cpu_clock_mhz": 667.0,
+        "memory_per_node_gb": 1.0,
+        "link_bandwidth_gbps": 5.0,
+        "lanes_per_node": 6.0,
+        "p2p_latency_us": 1.4,
+    })
+    return report
+
+
+def test_bench_table1_platform(run_once, record_report):
+    report = run_once(build_table1_report)
+    record_report(report)
+    platform = report.series["platform"]
+    assert platform["nodes"] == 8
+    assert platform["cpu_clock_mhz"] == 667.0
+    assert platform["memory_per_node_gb"] == 1.0
+    assert platform["link_bandwidth_gbps"] == 5.0
+    assert platform["lanes_per_node"] == 6
+    assert 1.2 <= platform["p2p_latency_us"] <= 1.6

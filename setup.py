@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This shim
+exists so that ``pip install -e .`` works in offline environments that
+lack the ``wheel`` package required for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

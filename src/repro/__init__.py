@@ -1,0 +1,20 @@
+"""repro: a reproduction of "Venice: Exploring Server Architectures for
+Effective Resource Sharing" (Dong et al., HPCA 2016) as a
+cycle-approximate simulation library.
+
+The package is organised in three tiers:
+
+* **Substrates** -- :mod:`repro.sim` (discrete-event engine),
+  :mod:`repro.fabric` (interconnect), :mod:`repro.mem`,
+  :mod:`repro.cpu`, :mod:`repro.interconnects` (commodity baselines),
+  :mod:`repro.accel`, :mod:`repro.nic`, :mod:`repro.workloads`.
+* **The Venice architecture** -- :mod:`repro.core` (transport channels,
+  resource-sharing mechanisms, node and system composition) and
+  :mod:`repro.runtime` (the Monitor-Node resource-management runtime).
+* **Evaluation** -- :mod:`repro.analysis` and :mod:`repro.experiments`,
+  one driver per table/figure of the paper's evaluation section.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,91 @@
+"""Accelerator device models (XFFT, crypto).
+
+An accelerator consumes an input buffer, computes for a data-dependent
+amount of time, and produces an output buffer.  The timing model is a
+fixed launch overhead plus a throughput term; for the FFT accelerator
+the compute term scales as ``n log n`` over the element count, matching
+the blocked SPLASH2 FFT kernel the paper offloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class AcceleratorConfig:
+    """Timing parameters of an accelerator device."""
+
+    name: str = "accel"
+    #: Fixed per-task launch overhead (configuration, DMA kick), ns.
+    launch_overhead_ns: int = 5_000
+    #: Input/output streaming bandwidth between memory and the device, GB/s.
+    io_bandwidth_gbps: float = 12.8
+    #: Processing throughput in elements (or bytes) per microsecond.
+    elements_per_us: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.io_bandwidth_gbps <= 0 or self.elements_per_us <= 0:
+            raise ValueError("bandwidth and throughput must be positive")
+        if self.launch_overhead_ns < 0:
+            raise ValueError("launch overhead must be non-negative")
+
+
+class Accelerator:
+    """Base accelerator: launch overhead + IO streaming + compute."""
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None, node_id: int = 0):
+        self.config = config or AcceleratorConfig()
+        self.node_id = node_id
+        self.stats = StatsRegistry(self.config.name)
+        self.busy_until_ns = 0
+
+    def io_time_ns(self, data_bytes: int) -> int:
+        """Time to stream ``data_bytes`` between node memory and the device."""
+        if data_bytes < 0:
+            raise ValueError("data size must be non-negative")
+        return int(data_bytes * 8 / self.config.io_bandwidth_gbps)
+
+    def compute_time_ns(self, elements: int) -> int:
+        """Pure computation time for ``elements`` input elements."""
+        if elements < 0:
+            raise ValueError("element count must be non-negative")
+        return int(elements / self.config.elements_per_us * 1000)
+
+    def task_time_ns(self, input_bytes: int, output_bytes: int, elements: int) -> int:
+        """Total occupancy of the device for one offloaded task."""
+        total = (self.config.launch_overhead_ns
+                 + self.io_time_ns(input_bytes)
+                 + self.compute_time_ns(elements)
+                 + self.io_time_ns(output_bytes))
+        self.stats.counter("tasks").increment()
+        self.stats.counter("busy_ns").increment(total)
+        return total
+
+
+class FftAccelerator(Accelerator):
+    """XFFT-style accelerator: compute scales as n log2 n."""
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None, node_id: int = 0):
+        super().__init__(config or AcceleratorConfig(name="xfft", elements_per_us=150.0),
+                         node_id=node_id)
+
+    def compute_time_ns(self, elements: int) -> int:
+        if elements < 0:
+            raise ValueError("element count must be non-negative")
+        if elements <= 1:
+            return 0
+        work = elements * math.log2(elements)
+        return int(work / self.config.elements_per_us * 1000)
+
+
+class CryptoAccelerator(Accelerator):
+    """Block-cipher style accelerator: compute scales linearly with bytes."""
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None, node_id: int = 0):
+        super().__init__(config or AcceleratorConfig(name="crypto", elements_per_us=8000.0),
+                         node_id=node_id)

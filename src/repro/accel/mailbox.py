@@ -1,0 +1,111 @@
+"""Mailbox abstraction for (remote) accelerator access.
+
+Section 5.2.2: Venice abstracts accelerators as message-passing
+mailboxes pinned in memory.  A mailbox contains a request buffer (the
+executable / command), an input-data buffer, a return-data buffer, a
+task-start flag and a completion flag.  A kernel thread on the donor
+node polls the mailbox and launches tasks on the physical accelerator
+on behalf of recipient nodes.
+
+The mailbox here is a functional state machine with explicit buffer
+sizes so the sharing layer can charge the correct data-movement costs
+for filling/draining the buffers over a transport channel.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class MailboxState(enum.Enum):
+    """Lifecycle of a mailbox slot."""
+
+    IDLE = "idle"
+    REQUEST_POSTED = "request_posted"
+    RUNNING = "running"
+    COMPLETE = "complete"
+
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class MailboxTask:
+    """One offloaded task posted into a mailbox."""
+
+    kernel: str
+    input_bytes: int
+    output_bytes: int
+    elements: int
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    posted_at_ns: int = 0
+    completed_at_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_bytes < 0 or self.output_bytes < 0 or self.elements < 0:
+            raise ValueError("task sizes must be non-negative")
+
+
+class MailboxError(RuntimeError):
+    """Raised on protocol violations (e.g. posting to a busy mailbox)."""
+
+
+class Mailbox:
+    """Request/input/output buffers plus start and completion flags."""
+
+    def __init__(self, owner_node: int, request_buffer_bytes: int = 4096,
+                 data_buffer_bytes: int = 4 * 1024 * 1024):
+        if request_buffer_bytes <= 0 or data_buffer_bytes <= 0:
+            raise ValueError("buffer sizes must be positive")
+        self.owner_node = owner_node
+        self.request_buffer_bytes = request_buffer_bytes
+        self.data_buffer_bytes = data_buffer_bytes
+        self.state = MailboxState.IDLE
+        self.current_task: Optional[MailboxTask] = None
+        self.tasks_completed = 0
+
+    def post(self, task: MailboxTask, now_ns: int = 0) -> None:
+        """Write the request/input buffers and raise the start flag."""
+        if self.state not in (MailboxState.IDLE, MailboxState.COMPLETE):
+            raise MailboxError(
+                f"mailbox on node {self.owner_node} is busy ({self.state.value})"
+            )
+        if task.input_bytes > self.data_buffer_bytes:
+            raise MailboxError(
+                f"input of {task.input_bytes} bytes exceeds the mailbox data buffer "
+                f"({self.data_buffer_bytes} bytes)"
+            )
+        task.posted_at_ns = now_ns
+        self.current_task = task
+        self.state = MailboxState.REQUEST_POSTED
+
+    def launch(self) -> MailboxTask:
+        """Donor-side kernel thread picks up the posted task."""
+        if self.state != MailboxState.REQUEST_POSTED or self.current_task is None:
+            raise MailboxError("no task posted to launch")
+        self.state = MailboxState.RUNNING
+        return self.current_task
+
+    def complete(self, now_ns: int = 0) -> MailboxTask:
+        """Mark the running task finished and raise the completion flag."""
+        if self.state != MailboxState.RUNNING or self.current_task is None:
+            raise MailboxError("no running task to complete")
+        self.current_task.completed_at_ns = now_ns
+        self.state = MailboxState.COMPLETE
+        self.tasks_completed += 1
+        return self.current_task
+
+    def collect(self) -> MailboxTask:
+        """Recipient reads the return buffer and frees the mailbox."""
+        if self.state != MailboxState.COMPLETE or self.current_task is None:
+            raise MailboxError("no completed task to collect")
+        task, self.current_task = self.current_task, None
+        self.state = MailboxState.IDLE
+        return task
+
+    @property
+    def is_idle(self) -> bool:
+        return self.state == MailboxState.IDLE

@@ -1,0 +1,135 @@
+"""Hardware and programming cost model (Section 7.3).
+
+The paper synthesises the Venice substrate (a radix-7 switch plus the
+three transport channels) in GlobalFoundries 28 nm and reports:
+
+* 2.73 mm^2 total logic layout area and 32 KB of SRAM;
+* about 0.5 mm^2 per PCIe-Gen4-x1-class PHY, ~3.5 mm^2 of PHYs total;
+* roughly 2 % of a Haswell-EP-class server die (300-600 mm^2 at 22 nm);
+* QPair logic about twice the LUT count of CRMA and tens of kilobytes
+  more SRAM (hundreds of queue pairs, each needing around a dozen
+  registers), supporting the claim that CRMA support "need not be
+  complex".
+
+The model here reproduces that arithmetic from per-component LUT/SRAM
+counts and technology density parameters, so the conclusions can be
+re-derived and perturbed (e.g. more queue pairs, different radix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TechnologyParameters:
+    """Area densities for the target process (28 nm logic)."""
+
+    #: Logic area per thousand LUT-equivalents, mm^2.
+    mm2_per_klut: float = 0.009
+    #: SRAM area per kilobyte, mm^2.
+    mm2_per_kb_sram: float = 0.011
+    #: Area of one serial PHY lane, mm^2 (PCIe Gen4 x1 class).
+    phy_mm2: float = 0.5
+    #: Reference host die area, mm^2 (Haswell-EP ranges 300-600).
+    host_die_mm2: float = 400.0
+
+    def __post_init__(self) -> None:
+        if min(self.mm2_per_klut, self.mm2_per_kb_sram, self.phy_mm2,
+               self.host_die_mm2) <= 0:
+            raise ValueError("all technology parameters must be positive")
+
+
+@dataclass
+class ChannelCost:
+    """LUT and SRAM cost of one hardware component."""
+
+    name: str
+    kluts: float
+    sram_kb: float
+
+    def __post_init__(self) -> None:
+        if self.kluts < 0 or self.sram_kb < 0:
+            raise ValueError("component costs must be non-negative")
+
+    def logic_area_mm2(self, tech: TechnologyParameters) -> float:
+        return self.kluts * tech.mm2_per_klut
+
+    def sram_area_mm2(self, tech: TechnologyParameters) -> float:
+        return self.sram_kb * tech.mm2_per_kb_sram
+
+    def total_area_mm2(self, tech: TechnologyParameters) -> float:
+        return self.logic_area_mm2(tech) + self.sram_area_mm2(tech)
+
+
+def default_components(num_queue_pairs: int = 256,
+                       registers_per_queue_pair: int = 12,
+                       switch_radix: int = 7) -> Dict[str, ChannelCost]:
+    """Per-component costs matching the prototype's relative proportions.
+
+    A QPair implementation supporting hundreds of queue pairs needs a
+    dozen or so registers per pair (~tens of KB of SRAM) and roughly
+    twice the control logic of CRMA, whose job is only address
+    translation and packetisation.
+    """
+    qpair_sram_kb = num_queue_pairs * registers_per_queue_pair * 8 / 1024.0
+    return {
+        "switch": ChannelCost("switch", kluts=60.0 * switch_radix / 7.0, sram_kb=6.0),
+        "datalink_phy_ctrl": ChannelCost("datalink_phy_ctrl", kluts=40.0, sram_kb=2.0),
+        "crma": ChannelCost("crma", kluts=45.0, sram_kb=1.0),
+        "rdma": ChannelCost("rdma", kluts=55.0, sram_kb=2.0),
+        "qpair": ChannelCost("qpair", kluts=90.0, sram_kb=qpair_sram_kb),
+        "control_center": ChannelCost("control_center", kluts=20.0, sram_kb=0.5),
+    }
+
+
+class VeniceHardwareCostModel:
+    """Aggregate area model of the Venice on-chip support."""
+
+    def __init__(self, tech: TechnologyParameters = None,
+                 components: Dict[str, ChannelCost] = None,
+                 num_phy_lanes: int = 7):
+        if num_phy_lanes <= 0:
+            raise ValueError("PHY lane count must be positive")
+        self.tech = tech or TechnologyParameters()
+        self.components = components or default_components()
+        self.num_phy_lanes = num_phy_lanes
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_sram_kb(self) -> float:
+        return sum(component.sram_kb for component in self.components.values())
+
+    def logic_area_mm2(self) -> float:
+        """Synthesisable logic + SRAM layout area (the paper's 2.73 mm^2)."""
+        return sum(component.total_area_mm2(self.tech)
+                   for component in self.components.values())
+
+    def phy_area_mm2(self) -> float:
+        """Area of the (non-synthesisable) PHY lanes (~3.5 mm^2)."""
+        return self.num_phy_lanes * self.tech.phy_mm2
+
+    def total_area_mm2(self) -> float:
+        return self.logic_area_mm2() + self.phy_area_mm2()
+
+    def fraction_of_host_die(self) -> float:
+        """Venice support as a fraction of the host processor die."""
+        return self.total_area_mm2() / self.tech.host_die_mm2
+
+    # ------------------------------------------------------------------
+    # Channel comparisons (Section 4.2.1's cost argument)
+    # ------------------------------------------------------------------
+    def qpair_to_crma_logic_ratio(self) -> float:
+        """QPair control-logic complexity relative to CRMA (paper: ~2x)."""
+        return self.components["qpair"].kluts / self.components["crma"].kluts
+
+    def qpair_extra_sram_kb(self) -> float:
+        """Extra SRAM QPair needs over CRMA (paper: tens of kilobytes)."""
+        return self.components["qpair"].sram_kb - self.components["crma"].sram_kb
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-component total area in mm^2."""
+        return {name: component.total_area_mm2(self.tech)
+                for name, component in self.components.items()}

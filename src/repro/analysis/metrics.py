@@ -1,0 +1,45 @@
+"""Metric arithmetic used by every experiment driver."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping
+
+
+def slowdown_versus(time_ns: float, baseline_time_ns: float) -> float:
+    """Execution-time ratio of a configuration versus a baseline (>1 = slower)."""
+    if baseline_time_ns <= 0:
+        raise ValueError("baseline time must be positive")
+    return time_ns / baseline_time_ns
+
+
+def speedup_versus(time_ns: float, baseline_time_ns: float) -> float:
+    """Inverse of :func:`slowdown_versus` (>1 = faster)."""
+    if time_ns <= 0:
+        raise ValueError("time must be positive")
+    return baseline_time_ns / time_ns
+
+
+def percent_overhead(time_ns: float, baseline_time_ns: float) -> float:
+    """Extra time relative to the baseline, as a percentage."""
+    return (slowdown_versus(time_ns, baseline_time_ns) - 1.0) * 100.0
+
+
+def normalize_to(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Normalise every value in ``values`` to the entry named ``baseline_key``."""
+    if baseline_key not in values:
+        raise KeyError(f"baseline {baseline_key!r} not in values")
+    baseline = values[baseline_key]
+    if baseline <= 0:
+        raise ValueError("baseline value must be positive")
+    return {key: value / baseline for key, value in values.items()}
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 for an empty sequence)."""
+    items = list(values)
+    if not items:
+        return 0.0
+    if any(value <= 0 for value in items):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(value) for value in items) / len(items))

@@ -1,0 +1,150 @@
+"""Transport-layer address structures (Figure 8).
+
+* :class:`RemoteAddressMappingTable` (RAMT) -- maps local physical
+  address windows onto (donor node, remote base) pairs.  The CRMA
+  channel consults it for every captured memory request; the donor node
+  holds matching entries translating incoming requests back to its own
+  physical addresses.
+* :class:`TransportTlb` (TLTLB) -- a small cache of recent translations
+  so the common case avoids a full table walk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+class AddressMappingError(RuntimeError):
+    """Raised on translation failures or table misuse."""
+
+
+@dataclass
+class RamtEntry:
+    """One row of the RAMT.
+
+    The hardware compares the masked high bits of the lookup address
+    against ``local_base``; the mask is derived from ``size`` (regions
+    are naturally aligned power-of-two windows in the prototype, but the
+    model accepts arbitrary sizes and uses range checks).
+    """
+
+    local_base: int
+    size: int
+    remote_node: int
+    remote_base: int
+    valid: bool = True
+    flow_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("RAMT entry size must be positive")
+        if self.local_base < 0 or self.remote_base < 0:
+            raise ValueError("RAMT bases must be non-negative")
+
+    def contains(self, address: int) -> bool:
+        return self.valid and self.local_base <= address < self.local_base + self.size
+
+    def translate(self, address: int) -> Tuple[int, int]:
+        """Translate a local address to ``(remote_node, remote_address)``."""
+        if not self.contains(address):
+            raise AddressMappingError(f"address {address:#x} outside RAMT entry")
+        return self.remote_node, self.remote_base + (address - self.local_base)
+
+
+class RemoteAddressMappingTable:
+    """Fixed-capacity table of remote-address windows."""
+
+    def __init__(self, capacity: int = 64, name: str = "ramt"):
+        if capacity <= 0:
+            raise ValueError("RAMT capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._entries: List[RamtEntry] = []
+
+    def __len__(self) -> int:
+        return len([entry for entry in self._entries if entry.valid])
+
+    @property
+    def entries(self) -> List[RamtEntry]:
+        return [entry for entry in self._entries if entry.valid]
+
+    def install(self, local_base: int, size: int, remote_node: int,
+                remote_base: int, flow_id: int = 0) -> RamtEntry:
+        """Add a mapping; raises when the table is full or windows overlap."""
+        if len(self) >= self.capacity:
+            raise AddressMappingError(f"{self.name}: table full ({self.capacity} entries)")
+        candidate = RamtEntry(local_base=local_base, size=size,
+                              remote_node=remote_node, remote_base=remote_base,
+                              flow_id=flow_id)
+        for entry in self.entries:
+            if (candidate.local_base < entry.local_base + entry.size
+                    and entry.local_base < candidate.local_base + candidate.size):
+                raise AddressMappingError(
+                    f"{self.name}: window [{local_base:#x}, +{size:#x}) overlaps an "
+                    "existing entry"
+                )
+        self._entries.append(candidate)
+        return candidate
+
+    def invalidate(self, entry: RamtEntry) -> None:
+        """Invalidate a mapping (stop-sharing cleanup)."""
+        if entry not in self._entries:
+            raise AddressMappingError(f"{self.name}: entry not present")
+        entry.valid = False
+
+    def lookup(self, address: int) -> Optional[RamtEntry]:
+        """Entry containing ``address``, or ``None`` (a local access)."""
+        for entry in self._entries:
+            if entry.contains(address):
+                return entry
+        return None
+
+    def translate(self, address: int) -> Tuple[int, int]:
+        """Translate ``address``; raises when no entry matches."""
+        entry = self.lookup(address)
+        if entry is None:
+            raise AddressMappingError(f"{self.name}: no mapping for address {address:#x}")
+        return entry.translate(address)
+
+
+class TransportTlb:
+    """LRU cache of recent (page -> RAMT entry) translations."""
+
+    def __init__(self, capacity: int = 128, page_bits: int = 12):
+        if capacity <= 0 or page_bits <= 0:
+            raise ValueError("TLTLB capacity and page bits must be positive")
+        self.capacity = capacity
+        self.page_bits = page_bits
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _page(self, address: int) -> int:
+        return address >> self.page_bits
+
+    def lookup(self, address: int) -> Optional[RamtEntry]:
+        page = self._page(address)
+        entry = self._entries.get(page)
+        if entry is not None and entry.valid and entry.contains(address):
+            self._entries.move_to_end(page)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def fill(self, address: int, entry: RamtEntry) -> None:
+        page = self._page(address)
+        self._entries[page] = entry
+        self._entries.move_to_end(page)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,111 @@
+"""Fabric path description used by every transport channel.
+
+A :class:`FabricPath` captures everything that determines the latency
+and bandwidth of one requester-to-donor route:
+
+* the per-hop physical link parameters and embedded-switch forwarding
+  latency;
+* the number of hops (1 for directly connected neighbours, more across
+  the mesh);
+* whether the transport-channel interface logic is integrated on-chip
+  or sits off-chip behind I/O buses and adapters (the Figure 5 knob);
+* an optional external one-level router on the path (the Figure 6 knob).
+
+Channels use the closed-form latency queries for their per-operation
+costs; contention-sensitive experiments additionally run packets
+through the event-driven fabric components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import ChannelPlacement, FabricConfig
+from repro.fabric.packet import HEADER_BYTES
+from repro.fabric.router import RouterConfig
+
+
+@dataclass
+class FabricPath:
+    """Latency/bandwidth model of one route through the Venice fabric."""
+
+    fabric: FabricConfig = field(default_factory=FabricConfig)
+    hops: int = 1
+    placement: ChannelPlacement = ChannelPlacement.ON_CHIP
+    external_router: Optional[RouterConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.hops < 1:
+            raise ValueError("a fabric path needs at least one hop")
+
+    # ------------------------------------------------------------------
+    # Component latencies
+    # ------------------------------------------------------------------
+    @property
+    def endpoint_overhead_ns(self) -> int:
+        """Extra latency paid at each endpoint when the logic is off-chip."""
+        if self.placement is ChannelPlacement.OFF_CHIP:
+            return self.fabric.off_chip_adapter_ns
+        return 0
+
+    def serialization_ns(self, payload_bytes: int) -> int:
+        """Time to clock one packet of ``payload_bytes`` onto a link."""
+        return self.fabric.link.serialization_ns(payload_bytes + HEADER_BYTES)
+
+    def one_way_latency_ns(self, payload_bytes: int) -> int:
+        """Uncontended one-way latency for a packet of ``payload_bytes``."""
+        per_hop = (self.fabric.link.packet_latency_ns(payload_bytes + HEADER_BYTES)
+                   + self.fabric.switch.forwarding_latency_ns)
+        latency = per_hop * self.hops
+        # Off-chip interface logic is crossed on the way out of the
+        # source and into the destination.
+        latency += 2 * self.endpoint_overhead_ns
+        if self.external_router is not None:
+            latency += (self.external_router.forwarding_latency_ns
+                        + self.external_router.link.packet_latency_ns(
+                            payload_bytes + HEADER_BYTES))
+        return latency
+
+    def round_trip_latency_ns(self, request_bytes: int, response_bytes: int) -> int:
+        """Uncontended request/response latency."""
+        return (self.one_way_latency_ns(request_bytes)
+                + self.one_way_latency_ns(response_bytes))
+
+    # ------------------------------------------------------------------
+    # Bandwidth
+    # ------------------------------------------------------------------
+    @property
+    def link_bandwidth_gbps(self) -> float:
+        """Raw bandwidth of one lane of the path."""
+        return self.fabric.link.bandwidth_gbps
+
+    def packet_occupancy_ns(self, payload_bytes: int) -> int:
+        """Link occupancy of one packet (limits pipelined throughput)."""
+        return self.serialization_ns(payload_bytes)
+
+    def streaming_bandwidth_gbps(self, payload_bytes: int,
+                                 per_packet_overhead_ns: float = 0.0) -> float:
+        """Sustained goodput when packets of ``payload_bytes`` are pipelined."""
+        per_packet_ns = self.packet_occupancy_ns(payload_bytes) + per_packet_overhead_ns
+        if per_packet_ns <= 0:
+            return 0.0
+        return payload_bytes * 8 / per_packet_ns
+
+    # ------------------------------------------------------------------
+    # Derived variants
+    # ------------------------------------------------------------------
+    def with_router(self, router: Optional[RouterConfig] = None) -> "FabricPath":
+        """Copy of this path with an external router inserted."""
+        return FabricPath(fabric=self.fabric, hops=self.hops, placement=self.placement,
+                          external_router=router or RouterConfig(link=self.fabric.link))
+
+    def with_placement(self, placement: ChannelPlacement) -> "FabricPath":
+        """Copy of this path with different interface-logic placement."""
+        return FabricPath(fabric=self.fabric, hops=self.hops, placement=placement,
+                          external_router=self.external_router)
+
+    def with_hops(self, hops: int) -> "FabricPath":
+        """Copy of this path with a different hop count."""
+        return FabricPath(fabric=self.fabric, hops=hops, placement=self.placement,
+                          external_router=self.external_router)

@@ -1,0 +1,145 @@
+"""QPair channel: user-level send/receive queue pairs.
+
+The QPair channel is a bidirectional channel between two communicating
+threads: data written into the local send queue is delivered to the
+counterpart's receive queue (Section 5.1.2).  The well-defined queue
+management maps to hardware state machines, freeing the CPU and moving
+large blocks efficiently; it is the natural carrier for socket-style
+message passing (and for the IP-over-QPair remote-NIC path).
+
+For the Figure 5/6 latency study the QPair channel is also used as a
+*remote memory access* mechanism: software explicitly sends a request
+message and waits for the reply carrying the data, which is how the
+legacy (off-chip, InfiniBand-style) and on-chip QPair configurations
+access the donor's memory.  :class:`QPairRemoteMemoryBackend` provides
+that mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.channels.path import FabricPath
+from repro.core.config import QPairConfig
+from repro.cpu.hierarchy import RemoteMemoryBackend
+from repro.mem.dram import Dram, DramConfig
+from repro.sim.stats import StatsRegistry
+
+
+class QPairChannel:
+    """Queue-pair messaging between two endpoints."""
+
+    def __init__(self, config: Optional[QPairConfig] = None,
+                 path: Optional[FabricPath] = None,
+                 name: str = "qpair"):
+        self.config = config or QPairConfig()
+        self.path = path or FabricPath()
+        self.name = name
+        self.stats = StatsRegistry(name)
+
+    # ------------------------------------------------------------------
+    # One-way message latency
+    # ------------------------------------------------------------------
+    def send_overhead_ns(self) -> int:
+        """Sender-side cost: user-level post + hardware queue processing."""
+        return self.config.post_send_ns + self.config.queue_processing_ns
+
+    def receive_overhead_ns(self) -> int:
+        """Receiver-side cost: hardware queue processing + completion."""
+        return self.config.queue_processing_ns + self.config.completion_ns
+
+    def message_latency_ns(self, payload_bytes: int) -> int:
+        """End-to-end latency of one message of ``payload_bytes``."""
+        if payload_bytes <= 0:
+            raise ValueError("message size must be positive")
+        self.stats.counter("messages").increment()
+        self.stats.counter("bytes").increment(payload_bytes)
+        return (self.send_overhead_ns()
+                + self.path.one_way_latency_ns(payload_bytes)
+                + self.receive_overhead_ns())
+
+    def round_trip_latency_ns(self, request_bytes: int, response_bytes: int,
+                              remote_handler_ns: int = 0) -> int:
+        """Request/response latency including an optional remote handler."""
+        return (self.message_latency_ns(request_bytes)
+                + remote_handler_ns
+                + self.message_latency_ns(response_bytes))
+
+    # ------------------------------------------------------------------
+    # Streaming throughput
+    # ------------------------------------------------------------------
+    def per_message_occupancy_ns(self, payload_bytes: int) -> float:
+        """Minimum spacing between back-to-back messages on this channel."""
+        return max(self.path.packet_occupancy_ns(payload_bytes),
+                   self.config.queue_processing_ns,
+                   self.config.post_send_ns)
+
+    def streaming_bandwidth_gbps(self, payload_bytes: int,
+                                 extra_per_message_ns: float = 0.0) -> float:
+        """Sustained goodput for a pipelined message stream."""
+        per_message = self.per_message_occupancy_ns(payload_bytes) + extra_per_message_ns
+        if per_message <= 0:
+            return 0.0
+        return payload_bytes * 8 / per_message
+
+    def credit_limited_bandwidth_gbps(self, payload_bytes: int,
+                                      credit_return_latency_ns: float,
+                                      credits: Optional[int] = None) -> float:
+        """Goodput when the sender is limited by credit returns.
+
+        The sender may have at most ``credits`` messages outstanding;
+        each credit comes back ``credit_return_latency_ns`` after its
+        message is delivered.  Effective bandwidth is therefore the
+        smaller of the raw pipelined bandwidth and the window limit
+        ``credits * payload / round_trip`` -- the quantity Figure 18
+        improves by returning credits over CRMA instead of QPair.
+        """
+        window = credits if credits is not None else self.config.queue_depth
+        if window <= 0:
+            raise ValueError("credit window must be positive")
+        round_trip_ns = (self.per_message_occupancy_ns(payload_bytes)
+                         + self.path.one_way_latency_ns(payload_bytes)
+                         + credit_return_latency_ns)
+        window_gbps = window * payload_bytes * 8 / round_trip_ns
+        return min(self.streaming_bandwidth_gbps(payload_bytes), window_gbps)
+
+
+class QPairRemoteMemoryBackend(RemoteMemoryBackend):
+    """Remote memory reached by explicit QPair request/response messages.
+
+    Every cacheline-sized access becomes a software-visible message
+    exchange: the requester posts a request, a handler on the donor
+    reads its local DRAM and posts the reply.  This is the baseline the
+    Figure 5 experiment contrasts with CRMA's transparent hardware path.
+    """
+
+    #: Payload of a remote-read request message (address + length).
+    REQUEST_BYTES = 16
+
+    def __init__(self, channel: QPairChannel,
+                 donor_dram: Optional[Dram] = None,
+                 remote_handler_ns: int = 14_000,
+                 requester_software_ns: int = 1_000):
+        if remote_handler_ns < 0 or requester_software_ns < 0:
+            raise ValueError("software costs must be non-negative")
+        self.channel = channel
+        self.donor_dram = donor_dram or Dram(DramConfig())
+        #: Donor-side software: receive completion, parse the request,
+        #: read local memory, post the reply (a few thousand instructions
+        #: on the prototype's 667 MHz core).
+        self.remote_handler_ns = remote_handler_ns
+        #: Requester-side software beyond the bare post/poll primitives:
+        #: building the request, matching the reply to the waiting query.
+        self.requester_software_ns = requester_software_ns
+
+    def remote_read_latency_ns(self, size_bytes: int) -> int:
+        service_ns = self.remote_handler_ns + self.donor_dram.access_latency_ns(size_bytes)
+        return (self.requester_software_ns
+                + self.channel.round_trip_latency_ns(
+                    self.REQUEST_BYTES, size_bytes, remote_handler_ns=service_ns))
+
+    def remote_write_latency_ns(self, size_bytes: int) -> int:
+        # The write payload is carried in the request; the sender
+        # considers it complete once posted (no synchronous ack wait).
+        return self.requester_software_ns + self.channel.message_latency_ns(size_bytes)

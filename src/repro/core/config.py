@@ -1,0 +1,163 @@
+"""Configuration dataclasses mirroring Table 1 of the paper.
+
+``VeniceConfig`` describes a whole system: the node count and topology,
+the fabric link/switch parameters, the per-channel transport
+configurations, and the per-node CPU/cache/DRAM parameters.  Every
+experiment builds its systems from (variations of) these defaults, so
+the platform configuration of Table 1 is reproduced by
+``VeniceConfig()`` with no arguments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.cpu.core import CpuConfig
+from repro.fabric.network import SwitchConfig
+from repro.fabric.phy import LinkConfig
+from repro.fabric.datalink import DataLinkConfig
+from repro.mem.cache import CacheConfig
+from repro.mem.dram import DramConfig
+
+
+class ChannelPlacement(enum.Enum):
+    """Where the transport-channel logic sits relative to the processor.
+
+    The Figure 5/6 experiments contrast *on-chip* integration (the
+    Venice design point) with *off-chip* interface logic reached over
+    I/O buses and adapters.
+    """
+
+    ON_CHIP = "on_chip"
+    OFF_CHIP = "off_chip"
+
+
+@dataclass
+class FabricConfig:
+    """Fabric-wide parameters (Table 1, "Fabric" rows)."""
+
+    link: LinkConfig = field(default_factory=LinkConfig)
+    datalink: DataLinkConfig = field(default_factory=DataLinkConfig)
+    switch: SwitchConfig = field(default_factory=SwitchConfig)
+    #: Number of parallel serial lanes per node (Table 1: 5 Gbps x 6).
+    lanes_per_node: int = 6
+    #: Extra one-way latency for off-chip interface logic: the I/O bus,
+    #: adapter and converter crossings Venice integration removes.
+    off_chip_adapter_ns: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.lanes_per_node <= 0:
+            raise ValueError("lanes_per_node must be positive")
+        if self.off_chip_adapter_ns < 0:
+            raise ValueError("off_chip_adapter_ns must be non-negative")
+
+    @property
+    def point_to_point_latency_ns(self) -> int:
+        """Uncontended one-way latency for a cacheline-sized packet."""
+        return self.link.packet_latency_ns(64) + self.switch.forwarding_latency_ns
+
+
+@dataclass
+class CrmaConfig:
+    """Cacheline Remote Memory Access channel parameters."""
+
+    placement: ChannelPlacement = ChannelPlacement.ON_CHIP
+    #: Hardware processing per request (RAMT lookup, packetisation), ns.
+    request_processing_ns: int = 40
+    #: Hardware processing per response at the requester, ns.
+    response_processing_ns: int = 40
+    #: RAMT capacity (number of simultaneously mapped remote regions).
+    ramt_entries: int = 64
+    #: Transport-layer TLB entries.
+    tltlb_entries: int = 128
+
+
+@dataclass
+class RdmaConfig:
+    """RDMA (bulk DMA) channel parameters."""
+
+    placement: ChannelPlacement = ChannelPlacement.ON_CHIP
+    #: Software cost to build and post one DMA descriptor, ns.
+    descriptor_setup_ns: int = 1_500
+    #: Completion-notification cost (interrupt or polling), ns.
+    completion_ns: int = 1_000
+    #: Maximum chunk carried in a single fabric packet, bytes.
+    max_chunk_bytes: int = 4096
+    #: Use double buffering so back-to-back chunks pipeline on the link.
+    double_buffering: bool = True
+    #: Number of fabric lanes a bulk transfer is striped across (Table 1
+    #: gives each node 6 lanes; page-sized swap transfers use one, large
+    #: staging transfers such as accelerator buffers may use several).
+    stripe_lanes: int = 1
+
+
+@dataclass
+class QPairConfig:
+    """Queue-pair channel parameters."""
+
+    placement: ChannelPlacement = ChannelPlacement.ON_CHIP
+    #: User-level software cost to post one send WQE, ns.
+    post_send_ns: int = 250
+    #: Receiver-side user-level cost to consume one completion, ns.
+    completion_ns: int = 250
+    #: Hardware queue-management processing per message, ns.
+    queue_processing_ns: int = 60
+    #: Number of queue pairs supported (hundreds in a typical design).
+    num_queue_pairs: int = 256
+    #: Receive-queue depth per QPair, in messages (credit window).
+    queue_depth: int = 16
+
+
+@dataclass
+class NodeConfig:
+    """Per-node resources (Table 1, "Nodes"/"Processor"/"Memory" rows)."""
+
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    #: Number of FFT accelerators physically present on the node.
+    num_accelerators: int = 1
+    #: Number of NIC ports physically present on the node.
+    num_nics: int = 1
+
+
+@dataclass
+class VeniceConfig:
+    """Whole-system configuration (defaults reproduce Table 1)."""
+
+    num_nodes: int = 8
+    topology: str = "mesh3d"
+    mesh_dims: Tuple[int, int, int] = (2, 2, 2)
+    fabric: FabricConfig = field(default_factory=FabricConfig)
+    crma: CrmaConfig = field(default_factory=CrmaConfig)
+    rdma: RdmaConfig = field(default_factory=RdmaConfig)
+    qpair: QPairConfig = field(default_factory=QPairConfig)
+    node: NodeConfig = field(default_factory=NodeConfig)
+    #: Monitor-node heartbeat period (runtime layer), ns.
+    heartbeat_period_ns: int = 1_000_000_000
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("a Venice system needs at least one node")
+        if self.topology not in ("mesh3d", "direct_pair", "star"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.topology == "mesh3d":
+            x, y, z = self.mesh_dims
+            if x * y * z != self.num_nodes:
+                raise ValueError(
+                    f"mesh dims {self.mesh_dims} do not match num_nodes={self.num_nodes}"
+                )
+        if self.topology == "direct_pair" and self.num_nodes != 2:
+            raise ValueError("direct_pair topology requires exactly two nodes")
+
+    @classmethod
+    def table1(cls) -> "VeniceConfig":
+        """The exact platform configuration of Table 1."""
+        return cls()
+
+    @classmethod
+    def pair(cls, **overrides) -> "VeniceConfig":
+        """Two directly connected nodes (the Section 4.2 setup)."""
+        return cls(num_nodes=2, topology="direct_pair", **overrides)

@@ -1,0 +1,111 @@
+"""Venice node composition.
+
+A :class:`VeniceNode` bundles one node's local resources -- processor,
+cache, DRAM, physical memory map, accelerators and NICs -- plus its
+runtime agent.  Transport channels between node pairs are created by
+:class:`repro.core.system.VeniceSystem`, which knows the topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.accel.device import FftAccelerator
+from repro.accel.mailbox import Mailbox
+from repro.core.config import NodeConfig
+from repro.cpu.core import CpuConfig, TimingCore
+from repro.cpu.hierarchy import MemoryHierarchy, RemoteMemoryBackend
+from repro.mem.cache import Cache
+from repro.mem.dram import Dram
+from repro.mem.memory_map import PhysicalMemoryMap
+from repro.mem.swap import SwapManager
+from repro.nic.nic import Nic, NicConfig
+from repro.runtime.agent import NodeAgent
+
+
+class VeniceNode:
+    """One server node of a Venice system."""
+
+    def __init__(self, node_id: int, config: Optional[NodeConfig] = None,
+                 neighbors: tuple = ()):
+        self.node_id = node_id
+        self.config = config or NodeConfig()
+        self.dram = Dram(self.config.dram, name=f"node{node_id}.dram")
+        self.memory_map = PhysicalMemoryMap(self.config.dram.capacity_bytes,
+                                            node_id=node_id)
+        self.accelerators: List[FftAccelerator] = [
+            FftAccelerator(node_id=node_id)
+            for _ in range(self.config.num_accelerators)
+        ]
+        self.mailboxes: List[Mailbox] = [
+            Mailbox(owner_node=node_id) for _ in range(self.config.num_accelerators)
+        ]
+        self.nics: List[Nic] = [
+            Nic(NicConfig(name=f"node{node_id}.nic{index}"), node_id=node_id)
+            for index in range(self.config.num_nics)
+        ]
+        self.agent = NodeAgent(
+            node_id=node_id,
+            memory_capacity_bytes=self.config.dram.capacity_bytes,
+            num_accelerators=self.config.num_accelerators,
+            num_nics=self.config.num_nics,
+            neighbors=neighbors,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"VeniceNode(id={self.node_id})"
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def new_cache(self) -> Cache:
+        """A fresh private cache instance (per experiment/core)."""
+        return Cache(self.config.cache, name=f"node{self.node_id}.cache")
+
+    def build_hierarchy(self, remote_backend: Optional[RemoteMemoryBackend] = None,
+                        swap: Optional[SwapManager] = None,
+                        cache: Optional[Cache] = None) -> MemoryHierarchy:
+        """Memory hierarchy over this node's memory map and DRAM."""
+        return MemoryHierarchy(
+            memory_map=self.memory_map,
+            cache=cache or self.new_cache(),
+            dram=self.dram,
+            remote_backend=remote_backend,
+            swap=swap,
+            name=f"node{self.node_id}.memhier",
+        )
+
+    def build_core(self, hierarchy: Optional[MemoryHierarchy] = None,
+                   cpu: Optional[CpuConfig] = None) -> TimingCore:
+        """Timing core attached to ``hierarchy`` (or a fresh local one)."""
+        return TimingCore(
+            hierarchy=hierarchy or self.build_hierarchy(),
+            config=cpu or self.config.cpu,
+            name=f"node{self.node_id}.core",
+        )
+
+    # ------------------------------------------------------------------
+    # Resource queries
+    # ------------------------------------------------------------------
+    @property
+    def local_memory_bytes(self) -> int:
+        return self.memory_map.local_capacity()
+
+    @property
+    def donated_memory_bytes(self) -> int:
+        return self.memory_map.donated_capacity()
+
+    @property
+    def borrowed_memory_bytes(self) -> int:
+        return self.memory_map.remote_capacity()
+
+    def primary_nic(self) -> Nic:
+        if not self.nics:
+            raise ValueError(f"node {self.node_id} has no NICs")
+        return self.nics[0]
+
+    def primary_accelerator(self) -> FftAccelerator:
+        if not self.accelerators:
+            raise ValueError(f"node {self.node_id} has no accelerators")
+        return self.accelerators[0]

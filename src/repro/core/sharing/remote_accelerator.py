@@ -1,0 +1,135 @@
+"""Remote accelerator sharing (Section 5.2.2, Figure 11).
+
+Venice abstracts accelerators as message-passing mailboxes pinned in
+memory.  An application asks the resource-management middleware for
+accelerators; the middleware returns, for each allocated accelerator,
+the donor node id and mailbox base address, and the user-level library
+dispatches tasks without the application knowing where the device
+lives.
+
+Three dispatch targets are modelled:
+
+* :class:`LocalAcceleratorTarget`   -- the accelerator on the node
+  itself (input/output buffers move over local DRAM only).
+* :class:`RemoteAcceleratorTarget`  -- an accelerator on a donor node:
+  input and output buffers move over the RDMA channel, the mailbox
+  flags move over CRMA (the exclusive-mapping fast path) or QPair, and
+  a donor-side kernel thread launches the task.
+* :class:`AcceleratorPool`          -- the library-level view handed to
+  applications: an ordered list of targets the FFT workload dispatches
+  into round-robin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.accel.device import Accelerator
+from repro.accel.mailbox import Mailbox, MailboxTask
+from repro.core.channels.crma import CrmaChannel
+from repro.core.channels.qpair import QPairChannel
+from repro.core.channels.rdma import RdmaChannel
+from repro.mem.dram import Dram, DramConfig
+
+
+class LocalAcceleratorTarget:
+    """Dispatch target for an accelerator on the requesting node."""
+
+    def __init__(self, accelerator: Accelerator, dram: Optional[Dram] = None):
+        self.accelerator = accelerator
+        self.dram = dram or Dram(DramConfig())
+        self.is_remote = False
+
+    def task_latency_ns(self, input_bytes: int, output_bytes: int, elements: int) -> int:
+        """Latency of one task: stage buffers in local DRAM + device time."""
+        staging = (self.dram.dma_latency_ns(input_bytes)
+                   + self.dram.dma_latency_ns(output_bytes))
+        return staging + self.accelerator.task_time_ns(input_bytes, output_bytes, elements)
+
+
+class RemoteAcceleratorTarget:
+    """Dispatch target for an accelerator on a donor node.
+
+    Parameters
+    ----------
+    exclusive_mapping:
+        When ``True`` (the optimised path of Section 5.2.2) the
+        accelerator's mailbox and control registers are exclusively
+        mapped to the recipient, which manipulates them directly through
+        CRMA; the donor-side kernel thread is bypassed.  When ``False``
+        the recipient notifies the donor over QPair and the donor's
+        kernel thread services the mailbox.
+    """
+
+    def __init__(self, accelerator: Accelerator, mailbox: Mailbox,
+                 rdma: RdmaChannel, crma: Optional[CrmaChannel] = None,
+                 qpair: Optional[QPairChannel] = None,
+                 exclusive_mapping: bool = True,
+                 donor_kernel_thread_ns: int = 8_000):
+        if donor_kernel_thread_ns < 0:
+            raise ValueError("donor kernel thread cost must be non-negative")
+        self.accelerator = accelerator
+        self.mailbox = mailbox
+        self.rdma = rdma
+        self.crma = crma
+        self.qpair = qpair
+        self.exclusive_mapping = exclusive_mapping
+        self.donor_kernel_thread_ns = donor_kernel_thread_ns
+        self.is_remote = True
+
+    def _control_latency_ns(self) -> int:
+        """Latency of signalling task start and observing completion."""
+        if self.exclusive_mapping and self.crma is not None:
+            # Recipient writes the start flag and polls the completion
+            # flag directly through CRMA.
+            flag_bytes = 8
+            return (self.crma.write_latency_ns(flag_bytes)
+                    + self.crma.read_latency_ns(flag_bytes))
+        if self.qpair is not None:
+            # Request and completion notifications as QPair messages,
+            # serviced by the donor-side kernel thread.
+            notify = self.qpair.message_latency_ns(64)
+            return 2 * notify + self.donor_kernel_thread_ns
+        raise ValueError("remote accelerator target needs a CRMA or QPair channel")
+
+    def task_latency_ns(self, input_bytes: int, output_bytes: int, elements: int) -> int:
+        """Latency of one offloaded task over the Venice fabric."""
+        task = MailboxTask(kernel=self.accelerator.config.name,
+                           input_bytes=input_bytes, output_bytes=output_bytes,
+                           elements=elements)
+        self.mailbox.post(task)
+        move_in = self.rdma.transfer_latency_ns(input_bytes)
+        control = self._control_latency_ns()
+        self.mailbox.launch()
+        compute = self.accelerator.task_time_ns(input_bytes, output_bytes, elements)
+        self.mailbox.complete()
+        move_out = self.rdma.transfer_latency_ns(output_bytes)
+        self.mailbox.collect()
+        return move_in + control + compute + move_out
+
+
+class AcceleratorPool:
+    """Ordered collection of dispatch targets handed to an application."""
+
+    def __init__(self, targets: Sequence):
+        if not targets:
+            raise ValueError("an accelerator pool needs at least one target")
+        self.targets: List = list(targets)
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    @property
+    def remote_count(self) -> int:
+        return sum(1 for target in self.targets if getattr(target, "is_remote", False))
+
+    @property
+    def local_count(self) -> int:
+        return len(self.targets) - self.remote_count
+
+    def __iter__(self):
+        return iter(self.targets)
+
+    def __getitem__(self, index: int):
+        return self.targets[index]

@@ -1,0 +1,112 @@
+"""Remote memory sharing (Section 5.2.1, Figures 2 and 10).
+
+Two usage modes are provided, mirroring the paper:
+
+* **Direct remote memory access** -- :func:`share_memory` performs the
+  hot-remove (donor) / hot-plug (recipient) handshake and installs the
+  CRMA channel's RAMT windows so that ordinary loads and stores to the
+  new region are captured and routed to the donor.  The returned
+  :class:`RemoteMemoryGrant` carries everything needed to tear the
+  sharing down again with :func:`stop_sharing`.
+* **Remote memory as swap space** -- handled by
+  :class:`repro.core.channels.rdma.RdmaSwapDevice`, which this module
+  re-exports conceptually through :func:`swap_device_for_grant` so the
+  same grant can back a paging configuration instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.channels.crma import CrmaChannel
+from repro.core.channels.rdma import RdmaChannel, RdmaSwapDevice
+from repro.mem.memory_map import MemoryMapError, MemoryRegion, PhysicalMemoryMap
+
+
+class MemorySharingError(RuntimeError):
+    """Raised when a sharing request cannot be satisfied."""
+
+
+@dataclass
+class RemoteMemoryGrant:
+    """Book-keeping for one active memory-sharing relationship."""
+
+    donor_node: int
+    recipient_node: int
+    size: int
+    donor_region: MemoryRegion
+    recipient_region: MemoryRegion
+    ramt_entry: object
+    channel: CrmaChannel
+    active: bool = True
+
+    @property
+    def recipient_base(self) -> int:
+        """Local physical base address of the borrowed region."""
+        return self.recipient_region.start
+
+    @property
+    def donor_base(self) -> int:
+        return self.donor_region.start
+
+
+def share_memory(donor_map: PhysicalMemoryMap, recipient_map: PhysicalMemoryMap,
+                 size: int, channel: CrmaChannel) -> RemoteMemoryGrant:
+    """Execute the memory-sharing flow of Figure 2 / Figure 10.
+
+    1. The donor hot-removes ``size`` bytes (they disappear from its OS).
+    2. The recipient hot-plugs a new region at the top of its address
+       space.
+    3. The recipient's CRMA channel gets a RAMT window mapping the new
+       region onto the donor's physical addresses.
+
+    Raises :class:`MemorySharingError` when the donor cannot spare the
+    requested amount.
+    """
+    if size <= 0:
+        raise MemorySharingError(f"requested size must be positive, got {size}")
+    if donor_map.node_id == recipient_map.node_id:
+        raise MemorySharingError("donor and recipient must be different nodes")
+    try:
+        donor_region = donor_map.hot_remove(size, recipient_node=recipient_map.node_id)
+    except MemoryMapError as exc:
+        raise MemorySharingError(str(exc)) from exc
+    recipient_region = recipient_map.hot_plug_remote(
+        size, donor_node=donor_map.node_id, donor_base=donor_region.start)
+    ramt_entry = channel.map_region(
+        local_base=recipient_region.start, size=size,
+        remote_node=donor_map.node_id, remote_base=donor_region.start)
+    return RemoteMemoryGrant(
+        donor_node=donor_map.node_id,
+        recipient_node=recipient_map.node_id,
+        size=size,
+        donor_region=donor_region,
+        recipient_region=recipient_region,
+        ramt_entry=ramt_entry,
+        channel=channel,
+    )
+
+
+def stop_sharing(grant: RemoteMemoryGrant, donor_map: PhysicalMemoryMap,
+                 recipient_map: PhysicalMemoryMap) -> None:
+    """Tear down an active grant: unmap, hot-unplug, and return the memory."""
+    if not grant.active:
+        raise MemorySharingError("grant is already inactive")
+    grant.channel.unmap_region(grant.ramt_entry)
+    recipient_map.hot_unplug(grant.recipient_region)
+    donor_map.hot_add_back(grant.donor_region)
+    grant.active = False
+
+
+def swap_device_for_grant(rdma_channel: RdmaChannel,
+                          driver_overhead_ns: int = 1_500) -> RdmaSwapDevice:
+    """Swap-space view of remote memory: an RDMA-backed block device.
+
+    The paper's driver uses double buffering of DMA descriptors to
+    reduce interrupt overheads and can present regions from multiple
+    donors as multiple block devices; here one device per RDMA channel
+    (i.e. per donor) is created and the caller may register several with
+    the swap manager.
+    """
+    return RdmaSwapDevice(rdma_channel, driver_overhead_ns=driver_overhead_ns)

@@ -1,0 +1,217 @@
+"""Whole-system composition: nodes + topology + channels + runtime.
+
+:class:`VeniceSystem` is the top of the public API.  It builds the node
+set over the configured topology, wires the Monitor-Node runtime, and
+hands out transport channels and sharing grants between node pairs.  It
+also knows how to construct the event-driven fabric (switches, links,
+datalinks with programmed routing tables) for experiments that need to
+observe contention rather than just closed-form latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.channels.crma import CrmaChannel, CrmaRemoteBackend
+from repro.core.channels.path import FabricPath
+from repro.core.channels.qpair import QPairChannel
+from repro.core.channels.rdma import RdmaChannel, RdmaSwapDevice
+from repro.core.config import ChannelPlacement, VeniceConfig
+from repro.core.node import VeniceNode
+from repro.core.sharing.remote_memory import RemoteMemoryGrant, share_memory, stop_sharing
+from repro.fabric.datalink import DataLink
+from repro.fabric.network import Switch
+from repro.fabric.phy import PhysicalLink
+from repro.fabric.router import RouterConfig
+from repro.fabric.topology import (
+    Topology,
+    build_direct_pair,
+    build_mesh3d,
+    build_star,
+    dimension_order_route,
+)
+from repro.runtime.monitor import Allocation, MonitorNode
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class EventFabric:
+    """Handles to the event-driven fabric built by ``build_event_fabric``."""
+
+    sim: Simulator
+    switches: Dict[int, Switch]
+    links: Dict[Tuple[int, int], PhysicalLink]
+    datalinks: Dict[Tuple[int, int], DataLink]
+
+
+class VeniceSystem:
+    """A rack of Venice nodes plus the Monitor-Node runtime."""
+
+    def __init__(self, config: VeniceConfig, topology: Topology,
+                 nodes: Dict[int, VeniceNode], monitor: MonitorNode):
+        self.config = config
+        self.topology = topology
+        self.nodes = nodes
+        self.monitor = monitor
+        self.grants: List[RemoteMemoryGrant] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, config: Optional[VeniceConfig] = None) -> "VeniceSystem":
+        """Build a system from a configuration (Table 1 defaults)."""
+        config = config or VeniceConfig()
+        topology = cls._build_topology(config)
+        nodes = {
+            node_id: VeniceNode(node_id, config.node,
+                                neighbors=tuple(topology.neighbors(node_id)))
+            for node_id in topology.compute_nodes
+        }
+        monitor = MonitorNode(topology)
+        for node in nodes.values():
+            monitor.register_agent(node.agent)
+        return cls(config=config, topology=topology, nodes=nodes, monitor=monitor)
+
+    @staticmethod
+    def _build_topology(config: VeniceConfig) -> Topology:
+        if config.topology == "mesh3d":
+            topology = build_mesh3d(config.mesh_dims)
+        elif config.topology == "direct_pair":
+            topology = build_direct_pair()
+        else:
+            topology = build_star(config.num_nodes)
+        topology.validate()
+        return topology
+
+    # ------------------------------------------------------------------
+    # Node / path access
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> VeniceNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id} does not exist in this system") from None
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self.nodes)
+
+    def path_between(self, src: int, dst: int,
+                     placement: Optional[ChannelPlacement] = None,
+                     through_router: bool = False) -> FabricPath:
+        """Fabric path description between two compute nodes."""
+        if src == dst:
+            raise ValueError("a fabric path requires two distinct nodes")
+        hops = self.topology.hop_count(src, dst)
+        path = FabricPath(
+            fabric=self.config.fabric,
+            hops=hops,
+            placement=placement or ChannelPlacement.ON_CHIP,
+        )
+        if through_router:
+            path = path.with_router(RouterConfig())
+        return path
+
+    # ------------------------------------------------------------------
+    # Channels
+    # ------------------------------------------------------------------
+    def crma_channel(self, recipient: int, donor: int,
+                     placement: Optional[ChannelPlacement] = None,
+                     through_router: bool = False) -> CrmaChannel:
+        """CRMA channel from ``recipient`` towards ``donor``'s memory."""
+        path = self.path_between(recipient, donor, placement, through_router)
+        return CrmaChannel(config=self.config.crma, path=path,
+                           donor_dram=self.node(donor).dram,
+                           name=f"crma{recipient}->{donor}")
+
+    def rdma_channel(self, recipient: int, donor: int,
+                     placement: Optional[ChannelPlacement] = None,
+                     through_router: bool = False) -> RdmaChannel:
+        """RDMA channel from ``recipient`` towards ``donor``'s memory."""
+        path = self.path_between(recipient, donor, placement, through_router)
+        return RdmaChannel(config=self.config.rdma, path=path,
+                           donor_dram=self.node(donor).dram,
+                           name=f"rdma{recipient}->{donor}")
+
+    def qpair_channel(self, local: int, remote: int,
+                      placement: Optional[ChannelPlacement] = None,
+                      through_router: bool = False) -> QPairChannel:
+        """QPair channel between two nodes."""
+        path = self.path_between(local, remote, placement, through_router)
+        return QPairChannel(config=self.config.qpair, path=path,
+                            name=f"qpair{local}<->{remote}")
+
+    # ------------------------------------------------------------------
+    # Memory sharing front door
+    # ------------------------------------------------------------------
+    def request_remote_memory(self, requester: int, size_bytes: int
+                              ) -> Tuple[Allocation, RemoteMemoryGrant]:
+        """Full Figure 2 flow: MN allocation + hot-remove/hot-plug + RAMT."""
+        allocation = self.monitor.request_memory(requester, size_bytes)
+        channel = self.crma_channel(recipient=requester, donor=allocation.donor)
+        grant = share_memory(
+            donor_map=self.node(allocation.donor).memory_map,
+            recipient_map=self.node(requester).memory_map,
+            size=size_bytes,
+            channel=channel,
+        )
+        self.grants.append(grant)
+        return allocation, grant
+
+    def release_remote_memory(self, allocation: Allocation,
+                              grant: RemoteMemoryGrant) -> None:
+        """Tear down a sharing relationship and notify the runtime."""
+        stop_sharing(grant, donor_map=self.node(grant.donor_node).memory_map,
+                     recipient_map=self.node(grant.recipient_node).memory_map)
+        self.monitor.release(allocation)
+        self.grants.remove(grant)
+
+    def remote_backend_for(self, grant: RemoteMemoryGrant) -> CrmaRemoteBackend:
+        """Remote-memory backend serving a grant's hot-plugged region."""
+        return CrmaRemoteBackend(grant.channel)
+
+    def swap_device_between(self, recipient: int, donor: int) -> RdmaSwapDevice:
+        """Remote memory on ``donor`` exposed as an RDMA-backed swap device."""
+        return RdmaSwapDevice(self.rdma_channel(recipient, donor))
+
+    # ------------------------------------------------------------------
+    # Event-driven fabric (for contention/integration experiments)
+    # ------------------------------------------------------------------
+    def build_event_fabric(self, sim: Optional[Simulator] = None) -> EventFabric:
+        """Instantiate switches, links and datalinks over the topology.
+
+        Routing tables are programmed with dimension-order routes (falling
+        back to shortest paths off-mesh).  The local sink of every switch
+        is left unconnected; callers attach their own packet consumers.
+        """
+        sim = sim or Simulator()
+        switches: Dict[int, Switch] = {
+            node_id: Switch(sim, node_id, self.config.fabric.switch)
+            for node_id in self.topology.compute_nodes
+        }
+        links: Dict[Tuple[int, int], PhysicalLink] = {}
+        datalinks: Dict[Tuple[int, int], DataLink] = {}
+        port_counters = {node_id: 1 for node_id in switches}  # port 0 = local
+        for node_a, node_b in self.topology.links:
+            for src, dst in ((node_a, node_b), (node_b, node_a)):
+                link = PhysicalLink(sim, self.config.fabric.link,
+                                    name=f"link{src}->{dst}")
+                datalink = DataLink(sim, link, self.config.fabric.datalink,
+                                    name=f"dl{src}->{dst}")
+                datalink.connect(switches[dst].inject)
+                links[(src, dst)] = link
+                datalinks[(src, dst)] = datalink
+                port = port_counters[src]
+                port_counters[src] += 1
+                switches[src].attach_output(port, datalink)
+                # Program routes through this port for every destination
+                # whose dimension-order path leaves ``src`` towards ``dst``.
+                for destination in self.topology.compute_nodes:
+                    if destination == src:
+                        continue
+                    route = dimension_order_route(self.topology, src, destination)
+                    if len(route) > 1 and route[1] == dst:
+                        switches[src].routing_table.install(destination, port)
+        return EventFabric(sim=sim, switches=switches, links=links, datalinks=datalinks)

@@ -1,0 +1,206 @@
+"""In-order timing core.
+
+:class:`TimingCore` advances a per-core virtual clock as a workload
+invokes its execution primitives:
+
+* :meth:`TimingCore.compute` -- burn CPU cycles (instruction execution
+  between memory operations).
+* :meth:`TimingCore.read` / :meth:`TimingCore.write` -- blocking memory
+  accesses through the node's :class:`MemoryHierarchy`.
+* :meth:`TimingCore.read_async` / :meth:`TimingCore.drain` -- the
+  asynchronous issue mode used by latency-tolerant software (the
+  Scale-out-NUMA-style rewritten applications of Section 4.2.1):
+  up to ``max_outstanding`` independent accesses overlap, and the core
+  only stalls when the window is full or at an explicit drain point.
+* :meth:`TimingCore.stall` -- explicit stall for software overheads
+  (system calls, driver paths, user-level library costs).
+
+The core is analytic rather than event-driven: each primitive adds the
+appropriate latency to the core's clock.  This keeps multi-million
+operation workloads tractable while preserving the latency composition
+that the paper's experiments measure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class CpuConfig:
+    """Core timing parameters (defaults follow Table 1's Cortex-A9)."""
+
+    clock_mhz: float = 667.0
+    #: Average cycles per (non-memory) instruction.
+    cycles_per_instruction: float = 1.0
+    #: Maximum outstanding asynchronous remote operations.
+    max_outstanding: int = 16
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0:
+            raise ValueError("clock frequency must be positive")
+        if self.max_outstanding <= 0:
+            raise ValueError("max_outstanding must be positive")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1000.0 / self.clock_mhz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles * self.cycle_ns
+
+
+@dataclass
+class ExecutionResult:
+    """Summary of one core's execution of a workload."""
+
+    total_time_ns: int
+    compute_time_ns: int
+    memory_time_ns: int
+    stall_time_ns: int
+    accesses: int
+    cache_hits: int
+    remote_accesses: int
+    swap_accesses: int
+
+    @property
+    def total_time_s(self) -> float:
+        return self.total_time_ns / 1e9
+
+    @property
+    def memory_fraction(self) -> float:
+        if self.total_time_ns == 0:
+            return 0.0
+        return self.memory_time_ns / self.total_time_ns
+
+
+class TimingCore:
+    """Single in-order core driving a memory hierarchy."""
+
+    def __init__(self, hierarchy: MemoryHierarchy,
+                 config: Optional[CpuConfig] = None, name: str = "core"):
+        self.hierarchy = hierarchy
+        self.config = config or CpuConfig()
+        self.name = name
+        self.stats = StatsRegistry(name)
+        self._now = 0.0
+        self._compute_ns = 0.0
+        self._memory_ns = 0.0
+        self._stall_ns = 0.0
+        # Completion times of outstanding async operations (min-heap).
+        self._outstanding: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now_ns(self) -> int:
+        return int(self._now)
+
+    def reset(self) -> None:
+        """Reset the clock and accumulated time (keeps hierarchy state)."""
+        self._now = 0.0
+        self._compute_ns = 0.0
+        self._memory_ns = 0.0
+        self._stall_ns = 0.0
+        self._outstanding.clear()
+
+    # ------------------------------------------------------------------
+    # Execution primitives
+    # ------------------------------------------------------------------
+    def compute(self, instructions: float) -> None:
+        """Execute ``instructions`` back-to-back ALU instructions."""
+        if instructions < 0:
+            raise ValueError("instruction count must be non-negative")
+        elapsed = self.config.cycles_to_ns(instructions * self.config.cycles_per_instruction)
+        self._now += elapsed
+        self._compute_ns += elapsed
+        self.stats.counter("instructions").increment(int(instructions))
+
+    def stall(self, nanoseconds: float) -> None:
+        """Stall the core for a fixed software/driver overhead."""
+        if nanoseconds < 0:
+            raise ValueError("stall time must be non-negative")
+        self._now += nanoseconds
+        self._stall_ns += nanoseconds
+
+    def read(self, address: int) -> int:
+        """Blocking load; returns the access latency in ns."""
+        return self._blocking_access(address, is_write=False)
+
+    def write(self, address: int) -> int:
+        """Blocking store; returns the access latency in ns."""
+        return self._blocking_access(address, is_write=True)
+
+    def _blocking_access(self, address: int, is_write: bool) -> int:
+        outcome = self.hierarchy.access(address, is_write=is_write)
+        self._now += outcome.latency_ns
+        self._memory_ns += outcome.latency_ns
+        self._count_access(outcome)
+        return outcome.latency_ns
+
+    def read_async(self, address: int) -> int:
+        """Non-blocking load used by latency-tolerant code.
+
+        The access is issued immediately; if the outstanding-operation
+        window is full the core first stalls until the oldest operation
+        completes.  Returns the latency of the individual access.
+        """
+        return self._async_access(address, is_write=False)
+
+    def write_async(self, address: int) -> int:
+        """Non-blocking store (posted write)."""
+        return self._async_access(address, is_write=True)
+
+    def _async_access(self, address: int, is_write: bool) -> int:
+        if len(self._outstanding) >= self.config.max_outstanding:
+            oldest = heapq.heappop(self._outstanding)
+            if oldest > self._now:
+                stall = oldest - self._now
+                self._now = oldest
+                self._memory_ns += stall
+        outcome = self.hierarchy.access(address, is_write=is_write)
+        self._count_access(outcome)
+        heapq.heappush(self._outstanding, self._now + outcome.latency_ns)
+        return outcome.latency_ns
+
+    def drain(self) -> None:
+        """Wait for every outstanding asynchronous operation."""
+        if not self._outstanding:
+            return
+        last = max(self._outstanding)
+        if last > self._now:
+            self._memory_ns += last - self._now
+            self._now = last
+        self._outstanding.clear()
+
+    def _count_access(self, outcome) -> None:
+        self.stats.counter("accesses").increment()
+        if outcome.cache_hit:
+            self.stats.counter("cache_hits").increment()
+        if outcome.served_by == "remote":
+            self.stats.counter("remote_accesses").increment()
+        elif outcome.served_by == "swap":
+            self.stats.counter("swap_accesses").increment()
+
+    # ------------------------------------------------------------------
+    # Result extraction
+    # ------------------------------------------------------------------
+    def result(self) -> ExecutionResult:
+        """Snapshot of elapsed time and access counts (drains async ops)."""
+        self.drain()
+        return ExecutionResult(
+            total_time_ns=int(self._now),
+            compute_time_ns=int(self._compute_ns),
+            memory_time_ns=int(self._memory_ns),
+            stall_time_ns=int(self._stall_ns),
+            accesses=self.stats.counter("accesses").value,
+            cache_hits=self.stats.counter("cache_hits").value,
+            remote_accesses=self.stats.counter("remote_accesses").value,
+            swap_accesses=self.stats.counter("swap_accesses").value,
+        )

@@ -1,0 +1,162 @@
+"""Per-node memory hierarchy: cache -> (local DRAM | remote | swap).
+
+The hierarchy decides, per access, whether a cache miss is served by
+local DRAM, by a remote node over a transport channel (when the address
+falls in a hot-plugged region), or by the swap subsystem (when the
+address lies beyond the node's visible physical memory).  This is where
+the three memory-supply strategies the paper compares meet:
+
+* all-local (ideal)           -- every miss hits local DRAM.
+* hot-plugged remote (CRMA)   -- misses to borrowed regions cross the
+  fabric at cacheline granularity.
+* swap (local disk / RDMA / commodity block device) -- accesses beyond
+  visible memory fault and move whole pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.dram import Dram, DramConfig
+from repro.mem.memory_map import PhysicalMemoryMap, RegionKind
+from repro.mem.prefetch import StreamPrefetcher
+from repro.mem.swap import SwapManager
+from repro.sim.stats import StatsRegistry
+
+
+class RemoteMemoryBackend:
+    """Latency provider for accesses to hot-plugged remote regions.
+
+    Implemented by the CRMA channel (and by commodity-interconnect
+    load/store paths) -- anything that can satisfy a cacheline-sized
+    remote read or write and report its latency.
+    """
+
+    def remote_read_latency_ns(self, size_bytes: int) -> int:
+        raise NotImplementedError
+
+    def remote_write_latency_ns(self, size_bytes: int) -> int:
+        raise NotImplementedError
+
+
+class LocalOnlyBackend(RemoteMemoryBackend):
+    """Backend that refuses remote accesses (all-local configurations)."""
+
+    def remote_read_latency_ns(self, size_bytes: int) -> int:
+        raise RuntimeError("no remote memory backend configured")
+
+    def remote_write_latency_ns(self, size_bytes: int) -> int:
+        raise RuntimeError("no remote memory backend configured")
+
+
+@dataclass
+class AccessOutcome:
+    """Result of one hierarchy access."""
+
+    latency_ns: int
+    cache_hit: bool
+    served_by: str  # "cache" | "dram" | "remote" | "swap"
+
+
+class MemoryHierarchy:
+    """Cache + DRAM + optional remote backend + optional swap manager."""
+
+    def __init__(self, memory_map: PhysicalMemoryMap,
+                 cache: Optional[Cache] = None,
+                 dram: Optional[Dram] = None,
+                 remote_backend: Optional[RemoteMemoryBackend] = None,
+                 swap: Optional[SwapManager] = None,
+                 prefetcher: Optional[StreamPrefetcher] = None,
+                 enable_prefetch: bool = True,
+                 name: str = "memhier"):
+        self.memory_map = memory_map
+        self.cache = cache or Cache(CacheConfig())
+        self.dram = dram or Dram(DramConfig())
+        self.remote_backend = remote_backend
+        self.swap = swap
+        self.prefetcher = prefetcher if prefetcher is not None else (
+            StreamPrefetcher() if enable_prefetch else None)
+        self.name = name
+        self.stats = StatsRegistry(name)
+
+    @property
+    def line_bytes(self) -> int:
+        return self.cache.config.line_bytes
+
+    def visible_capacity(self) -> int:
+        return self.memory_map.visible_capacity()
+
+    def access(self, address: int, is_write: bool = False) -> AccessOutcome:
+        """Perform one demand access and return its latency and source."""
+        result = self.cache.access(address, is_write=is_write)
+        latency = result.latency_ns
+        if result.hit:
+            self.stats.counter("cache_hits").increment()
+            return AccessOutcome(latency_ns=latency, cache_hit=True, served_by="cache")
+
+        # Handle the writeback of the evicted dirty line first.
+        if result.writeback_address is not None:
+            latency += self._fill_latency(result.writeback_address, is_write=True)
+
+        served_by, fill_ns = self._classify_and_fill(address, is_write)
+        if self.prefetcher is not None and served_by in ("dram", "remote"):
+            # Sequential-stream fills pipeline behind the prefetcher; the
+            # demand miss only observes a fraction of the fill latency,
+            # bounded below by the cacheline's link/DRAM occupancy.
+            factor = self.prefetcher.observe_miss(result.line_address)
+            if factor > 1:
+                floor = self.dram.access_latency_ns(self.line_bytes)
+                fill_ns = max(fill_ns // factor, floor)
+                self.stats.counter("prefetch_covered_fills").increment()
+        latency += fill_ns
+        self.stats.counter(f"fills_{served_by}").increment()
+        return AccessOutcome(latency_ns=latency, cache_hit=False, served_by=served_by)
+
+    def _classify_and_fill(self, address: int, is_write: bool) -> tuple:
+        line = self.line_bytes
+        visible = self.memory_map.visible_capacity()
+        if address >= self.memory_map.highest_address() or (
+            address >= visible and not self.memory_map.is_remote(address)
+        ):
+            if self.swap is None:
+                raise RuntimeError(
+                    f"{self.name}: address {address:#x} exceeds visible memory and no "
+                    "swap manager is configured"
+                )
+            swap_ns = self.swap.access(address, is_write=is_write)
+            # After the page is resident the line is filled from DRAM.
+            return "swap", swap_ns + self.dram.access_latency_ns(line)
+
+        region = self.memory_map.lookup(address)
+        if region.kind == RegionKind.REMOTE_MAPPED:
+            if self.remote_backend is None:
+                raise RuntimeError(
+                    f"{self.name}: address {address:#x} is remote-mapped but no remote "
+                    "backend is configured"
+                )
+            if is_write:
+                return "remote", self.remote_backend.remote_write_latency_ns(line)
+            return "remote", self.remote_backend.remote_read_latency_ns(line)
+
+        return "dram", self.dram.access_latency_ns(line)
+
+    def _fill_latency(self, address: int, is_write: bool) -> int:
+        """Latency contribution of a writeback to ``address``."""
+        try:
+            _, latency = self._classify_and_fill(address, is_write)
+        except RuntimeError:
+            # Writebacks to since-unmapped regions are dropped by the
+            # sharing protocol's cleanup; charge nothing.
+            return 0
+        return latency
+
+    # Convenience read-only metrics ------------------------------------
+    @property
+    def cache_miss_rate(self) -> float:
+        return self.cache.miss_rate
+
+    @property
+    def swap_fault_count(self) -> int:
+        return self.swap.fault_count if self.swap is not None else 0

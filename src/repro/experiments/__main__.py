@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.experiments [ids... | --all]``."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Command-line runner for the experiment drivers.
+
+``python -m repro.experiments fig05 fig18`` runs the named drivers and
+prints their paper-versus-measured reports; with no arguments it lists
+what is available, and ``--all`` runs everything (the same content the
+benchmark harness produces, without pytest).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List
+
+from repro.experiments.fig03_commodity import run_fig03
+from repro.experiments.fig05_arch_support import run_fig05
+from repro.experiments.fig06_router import run_fig06
+from repro.experiments.fig14_redis_memory import run_fig14
+from repro.experiments.fig15_remote_memory import run_fig15
+from repro.experiments.fig16_accel_nic import run_fig16a, run_fig16b
+from repro.experiments.fig17_channels import run_fig17
+from repro.experiments.fig18_flow_control import run_fig18
+from repro.experiments.hardware_cost import run_hardware_cost
+
+#: Experiment id -> (description, driver).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig03": ("remote memory over commodity interconnects", run_fig03),
+    "fig05": ("impact of architectural support for remote access", run_fig05),
+    "fig06": ("overhead of a one-level external router", run_fig06),
+    "fig14": ("mini data-center Redis memory sweep", run_fig14),
+    "fig15": ("CRMA versus RDMA-swap remote memory", run_fig15),
+    "fig16a": ("remote accelerator sharing", run_fig16a),
+    "fig16b": ("remote NIC sharing", run_fig16b),
+    "fig17": ("channel comparison per access pattern", run_fig17),
+    "fig18": ("credit flow control over CRMA", run_fig18),
+    "hwcost": ("Section 7.3 hardware cost", run_hardware_cost),
+}
+
+
+def available_experiments() -> List[str]:
+    """Identifiers accepted by :func:`main`, in figure order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(name: str):
+    """Run one experiment by id and return its FigureReport."""
+    try:
+        _description, driver = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {', '.join(EXPERIMENTS)}"
+        ) from None
+    return driver()
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the Venice (HPCA 2016) evaluation figures.",
+    )
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="experiment ids to run (e.g. fig03 fig17); "
+                             "omit to list the available experiments")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.all:
+        selected = available_experiments()
+    else:
+        selected = args.experiments
+    if not selected:
+        print("available experiments:")
+        for name, (description, _driver) in EXPERIMENTS.items():
+            print(f"  {name:<8} {description}")
+        print("\nrun with: python -m repro.experiments <ids...> | --all")
+        return 0
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    for name in selected:
+        report = run_experiment(name)
+        print(report.to_text())
+        print()
+    return 0

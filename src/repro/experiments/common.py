@@ -1,0 +1,161 @@
+"""Shared plumbing for the experiment drivers.
+
+Experiments repeatedly need "a core whose memory is supplied in one of
+the paper's ways": all local, partially remote via CRMA, partially
+remote via a swap device (local disk, commodity interconnect, or Venice
+RDMA), or remote via explicit QPair messaging.  The builders here
+assemble those memory hierarchies from the substrate pieces so the
+per-figure drivers stay readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.channels.crma import CrmaChannel, CrmaRemoteBackend
+from repro.core.channels.path import FabricPath
+from repro.core.channels.qpair import QPairChannel, QPairRemoteMemoryBackend
+from repro.core.channels.rdma import RdmaChannel, RdmaSwapDevice
+from repro.core.config import ChannelPlacement, VeniceConfig
+from repro.cpu.core import CpuConfig, TimingCore
+from repro.cpu.hierarchy import MemoryHierarchy, RemoteMemoryBackend
+from repro.fabric.router import RouterConfig
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.dram import Dram, DramConfig
+from repro.mem.memory_map import PhysicalMemoryMap
+from repro.mem.swap import SwapConfig, SwapDevice, SwapManager
+
+#: Address-space slack reserved above the dataset so writebacks of the
+#: top-most cache lines still fall inside visible memory.
+_SLACK_BYTES = 1 << 20
+
+
+@dataclass
+class ExperimentPlatform:
+    """Per-experiment platform knobs (scaled-down Table 1 node)."""
+
+    venice: VeniceConfig = None
+    cache: CacheConfig = None
+    cpu: CpuConfig = None
+    dram: DramConfig = None
+
+    def __post_init__(self) -> None:
+        self.venice = self.venice or VeniceConfig.pair()
+        self.cache = self.cache or CacheConfig()
+        self.cpu = self.cpu or CpuConfig()
+        self.dram = self.dram or DramConfig()
+
+    # ------------------------------------------------------------------
+    # Fabric paths and channels between the two nodes of the experiment
+    # ------------------------------------------------------------------
+    def path(self, placement: ChannelPlacement = ChannelPlacement.ON_CHIP,
+             through_router: bool = False, hops: int = 1) -> FabricPath:
+        fabric_path = FabricPath(fabric=self.venice.fabric, hops=hops,
+                                 placement=placement)
+        if through_router:
+            fabric_path = fabric_path.with_router(RouterConfig())
+        return fabric_path
+
+    def crma_channel(self, placement: ChannelPlacement = ChannelPlacement.ON_CHIP,
+                     through_router: bool = False) -> CrmaChannel:
+        return CrmaChannel(config=self.venice.crma,
+                           path=self.path(placement, through_router),
+                           donor_dram=Dram(self.dram))
+
+    def rdma_channel(self, placement: ChannelPlacement = ChannelPlacement.ON_CHIP,
+                     through_router: bool = False) -> RdmaChannel:
+        return RdmaChannel(config=self.venice.rdma,
+                           path=self.path(placement, through_router),
+                           donor_dram=Dram(self.dram))
+
+    def qpair_channel(self, placement: ChannelPlacement = ChannelPlacement.ON_CHIP,
+                      through_router: bool = False) -> QPairChannel:
+        return QPairChannel(config=self.venice.qpair,
+                            path=self.path(placement, through_router))
+
+    # ------------------------------------------------------------------
+    # Core builders for the paper's memory-supply strategies
+    # ------------------------------------------------------------------
+    def _core(self, hierarchy: MemoryHierarchy) -> TimingCore:
+        return TimingCore(hierarchy, config=self.cpu)
+
+    def all_local_core(self, dataset_bytes: int) -> TimingCore:
+        """Ideal configuration: the whole dataset fits in local memory."""
+        memory_map = PhysicalMemoryMap(dataset_bytes + _SLACK_BYTES, node_id=0)
+        hierarchy = MemoryHierarchy(memory_map, cache=Cache(self.cache),
+                                    dram=Dram(self.dram))
+        return self._core(hierarchy)
+
+    def swap_core(self, dataset_bytes: int, local_bytes: int,
+                  device: SwapDevice, page_bytes: int = 4096,
+                  fault_overhead_ns: int = 8000) -> TimingCore:
+        """Dataset paged against ``local_bytes`` of resident frames.
+
+        Models the conventional configuration: the OS keeps
+        ``local_bytes`` worth of the dataset resident and pages the rest
+        to ``device`` (local disk, vDisk over a commodity interconnect,
+        or the Venice RDMA block device).
+        """
+        if local_bytes <= 0 or local_bytes > dataset_bytes:
+            raise ValueError("local_bytes must be positive and below the dataset size")
+        # Visible physical memory is kept to a single page so that every
+        # dataset address is swap-backed and the swap manager decides
+        # residency (the resident-frame count is what models the local
+        # memory actually available to the workload).
+        memory_map = PhysicalMemoryMap(4096, node_id=0)
+        swap = SwapManager(
+            SwapConfig(page_bytes=page_bytes,
+                       resident_frames=max(1, local_bytes // page_bytes),
+                       fault_overhead_ns=fault_overhead_ns),
+            device=device,
+        )
+        hierarchy = MemoryHierarchy(memory_map, cache=Cache(self.cache),
+                                    dram=Dram(self.dram), swap=swap)
+        return self._core(hierarchy)
+
+    def remote_backend_core(self, dataset_bytes: int, local_bytes: int,
+                            backend: RemoteMemoryBackend,
+                            donor_node: int = 1) -> TimingCore:
+        """Dataset split: ``local_bytes`` local, the rest remote via ``backend``.
+
+        Models direct remote memory access (hot-plugged region served by
+        CRMA, QPair messaging, or a commodity load/store bridge).  When
+        ``local_bytes`` is zero the whole dataset lives remotely.
+        """
+        if local_bytes < 0 or local_bytes > dataset_bytes:
+            raise ValueError("local_bytes must be within [0, dataset size]")
+        local_capacity = max(local_bytes, 4096)
+        memory_map = PhysicalMemoryMap(local_capacity, node_id=0)
+        remote_bytes = dataset_bytes - local_bytes + _SLACK_BYTES
+        memory_map.hot_plug_remote(remote_bytes, donor_node=donor_node,
+                                   donor_base=0, label="experiment-remote")
+        hierarchy = MemoryHierarchy(memory_map, cache=Cache(self.cache),
+                                    dram=Dram(self.dram), remote_backend=backend)
+        return self._core(hierarchy)
+
+    def crma_core(self, dataset_bytes: int, local_bytes: int,
+                  placement: ChannelPlacement = ChannelPlacement.ON_CHIP,
+                  through_router: bool = False) -> TimingCore:
+        """Remote portion of the dataset served by the CRMA channel."""
+        backend = CrmaRemoteBackend(self.crma_channel(placement, through_router))
+        return self.remote_backend_core(dataset_bytes, local_bytes, backend)
+
+    def qpair_memory_core(self, dataset_bytes: int, local_bytes: int,
+                          placement: ChannelPlacement = ChannelPlacement.ON_CHIP,
+                          through_router: bool = False,
+                          remote_handler_ns: int = 14_000) -> TimingCore:
+        """Remote portion accessed by explicit QPair request/response."""
+        backend = QPairRemoteMemoryBackend(
+            self.qpair_channel(placement, through_router),
+            donor_dram=Dram(self.dram),
+            remote_handler_ns=remote_handler_ns,
+        )
+        return self.remote_backend_core(dataset_bytes, local_bytes, backend)
+
+    def rdma_swap_core(self, dataset_bytes: int, local_bytes: int,
+                       placement: ChannelPlacement = ChannelPlacement.ON_CHIP,
+                       through_router: bool = False) -> TimingCore:
+        """Remote portion supplied as swap space over the RDMA channel."""
+        device = RdmaSwapDevice(self.rdma_channel(placement, through_router))
+        return self.swap_core(dataset_bytes, local_bytes, device)

@@ -1,0 +1,94 @@
+"""Figure 18: bandwidth improvement through synergistic channel operation.
+
+Credit-based flow control normally returns credits as (small) QPair
+packets; their latency throttles the sender's window and wastes link
+bandwidth.  Venice instead writes credit updates through the CRMA
+channel into a dedicated, overwriteable memory region (Figure 9), which
+returns credits sooner and lifts effective QPair bandwidth.  The paper
+reports improvements between 28 % and 51 %, larger for small packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.analysis.report import FigureReport
+from repro.core.channels.collaboration import CreditFlowControlModel
+from repro.experiments.common import ExperimentPlatform
+
+#: The packet sizes plotted in Figure 18.
+PAYLOAD_SIZES = (4, 8, 16, 32, 64, 128)
+PAYLOAD_LABELS = {4: "4B_word", 8: "8B_double_word", 16: "16B_quad_word",
+                  32: "32B_cacheline", 64: "64B_dual_cacheline",
+                  128: "128B_quad_cacheline"}
+
+#: The paper states the range 28-51%; per-size bars are read off the plot
+#: approximately (monotonically decreasing with packet size).
+PAPER_REFERENCE: Dict[str, float] = {
+    "4B_word": 51.0,
+    "8B_double_word": 48.0,
+    "16B_quad_word": 44.0,
+    "32B_cacheline": 40.0,
+    "64B_dual_cacheline": 34.0,
+    "128B_quad_cacheline": 28.0,
+}
+
+
+@dataclass
+class Fig18Config:
+    """Experiment parameters."""
+
+    #: Credits (receive-buffer slots) available to the QPair sender.
+    credits: int = 4
+    payload_sizes: Sequence[int] = PAYLOAD_SIZES
+
+
+def build_model(config: Fig18Config = None,
+                platform: ExperimentPlatform = None) -> CreditFlowControlModel:
+    """Credit flow-control model over the platform's QPair and CRMA channels."""
+    config = config or Fig18Config()
+    platform = platform or ExperimentPlatform()
+    return CreditFlowControlModel(qpair=platform.qpair_channel(),
+                                  crma=platform.crma_channel(),
+                                  credits=config.credits)
+
+
+def run_fig18(config: Fig18Config = None,
+              platform: ExperimentPlatform = None) -> FigureReport:
+    """Measure per-packet-size bandwidth improvements."""
+    config = config or Fig18Config()
+    model = build_model(config, platform)
+
+    improvements = {
+        PAYLOAD_LABELS[size]: model.improvement_percent(size)
+        for size in config.payload_sizes
+    }
+    baseline_bandwidth = {
+        PAYLOAD_LABELS[size]: model.qpair_credit_bandwidth_gbps(size)
+        for size in config.payload_sizes
+    }
+    improved_bandwidth = {
+        PAYLOAD_LABELS[size]: model.crma_credit_bandwidth_gbps(size)
+        for size in config.payload_sizes
+    }
+
+    report = FigureReport(
+        figure_id="fig18",
+        title="QPair effective-bandwidth improvement from returning "
+              "flow-control credits over CRMA",
+        notes="shape target: positive improvement at every size, larger for "
+              "smaller packets",
+    )
+    report.add_series("improvement_percent", improvements, reference=PAPER_REFERENCE)
+    report.add_series("qpair_credit_bandwidth_gbps", baseline_bandwidth)
+    report.add_series("crma_credit_bandwidth_gbps", improved_bandwidth)
+    return report
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_fig18().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,52 @@
+"""Section 7.3: hardware cost of the Venice on-chip support.
+
+The paper synthesises the radix-7 switch plus the three transport
+channels in 28 nm and reports 2.73 mm^2 of logic, 32 KB of SRAM and
+about 3.5 mm^2 of PHYs -- roughly 2 % of a Haswell-EP-class die.  It
+also argues that CRMA support is cheaper than QPair support: about half
+the LUTs and tens of kilobytes less SRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.hardware_cost import VeniceHardwareCostModel
+from repro.analysis.report import FigureReport
+
+PAPER_REFERENCE: Dict[str, float] = {
+    "logic_area_mm2": 2.73,
+    "sram_kb": 32.0,
+    "phy_area_mm2": 3.5,
+    "fraction_of_host_die_percent": 2.0,
+    "qpair_to_crma_logic_ratio": 2.0,
+}
+
+
+def run_hardware_cost(model: VeniceHardwareCostModel = None) -> FigureReport:
+    """Evaluate the area model and return paper-versus-model values."""
+    model = model or VeniceHardwareCostModel()
+    measured = {
+        "logic_area_mm2": model.logic_area_mm2(),
+        "sram_kb": model.total_sram_kb(),
+        "phy_area_mm2": model.phy_area_mm2(),
+        "fraction_of_host_die_percent": model.fraction_of_host_die() * 100.0,
+        "qpair_to_crma_logic_ratio": model.qpair_to_crma_logic_ratio(),
+    }
+    report = FigureReport(
+        figure_id="sec7.3",
+        title="Hardware cost of Venice on-chip support (28 nm)",
+        notes="shape target: a few mm^2 total, a small single-digit percentage "
+              "of a server die, QPair roughly twice the logic of CRMA",
+    )
+    report.add_series("hardware_cost", measured, reference=PAPER_REFERENCE)
+    report.add_series("area_breakdown_mm2", model.breakdown())
+    return report
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_hardware_cost().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,143 @@
+"""Network layer: the low-radix on-chip switch and routing tables.
+
+The Venice prototype embeds a custom radix-7 switch in each node so that
+neighbouring nodes can communicate *switchlessly*, i.e. without
+traversing a central external switch (Section 5.1.1).  The
+:class:`Switch` here models that embedded switch: it looks up the output
+port for a packet's destination, charges a small forwarding latency,
+and hands the packet to the outgoing datalink (or to local ejection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.fabric.datalink import DataLink
+from repro.fabric.packet import Packet
+
+
+class RoutingError(RuntimeError):
+    """Raised when a packet has no route to its destination."""
+
+
+@dataclass
+class RoutingEntry:
+    """One row of the routing table (Figure 8, right-hand table)."""
+
+    node_id: int
+    out_port: int
+    flow_id: int = 0
+    valid: bool = True
+
+
+class RoutingTable:
+    """Destination-node to output-port mapping."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, RoutingEntry] = {}
+
+    def install(self, node_id: int, out_port: int, flow_id: int = 0) -> None:
+        """Install or update the route towards ``node_id``."""
+        self._entries[node_id] = RoutingEntry(node_id=node_id, out_port=out_port,
+                                              flow_id=flow_id)
+
+    def invalidate(self, node_id: int) -> None:
+        entry = self._entries.get(node_id)
+        if entry is not None:
+            entry.valid = False
+
+    def lookup(self, node_id: int) -> RoutingEntry:
+        entry = self._entries.get(node_id)
+        if entry is None or not entry.valid:
+            raise RoutingError(f"no valid route to node {node_id}")
+        return entry
+
+    def has_route(self, node_id: int) -> bool:
+        entry = self._entries.get(node_id)
+        return entry is not None and entry.valid
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._entries.values() if entry.valid)
+
+
+@dataclass
+class SwitchConfig:
+    """Parameters of the embedded switch."""
+
+    #: Number of ports (the prototype implements a radix-7 switch:
+    #: six mesh directions plus local ejection).
+    radix: int = 7
+    #: Per-hop forwarding latency through the crossbar, ns.
+    forwarding_latency_ns: int = 50
+
+
+class Switch:
+    """Embedded low-radix switch of one Venice node.
+
+    Port 0 is by convention the *local ejection* port, delivering
+    packets destined to this node to the transport layer; the remaining
+    ports connect to neighbouring nodes' datalinks.
+    """
+
+    LOCAL_PORT = 0
+
+    def __init__(self, sim: Simulator, node_id: int,
+                 config: Optional[SwitchConfig] = None, name: str = ""):
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config or SwitchConfig()
+        self.name = name or f"switch{node_id}"
+        self.routing_table = RoutingTable()
+        self.stats = StatsRegistry(self.name)
+        self._output_links: Dict[int, DataLink] = {}
+        self._local_sink: Optional[Callable[[Packet], None]] = None
+
+    def attach_output(self, port: int, datalink: DataLink) -> None:
+        """Attach the datalink serving an output port."""
+        if port == self.LOCAL_PORT:
+            raise ValueError("port 0 is reserved for local ejection")
+        if port < 0 or port >= self.config.radix:
+            raise ValueError(f"port {port} outside switch radix {self.config.radix}")
+        self._output_links[port] = datalink
+
+    def attach_local_sink(self, sink: Callable[[Packet], None]) -> None:
+        """Attach the transport-layer receive path of this node."""
+        self._local_sink = sink
+
+    @property
+    def ports_in_use(self) -> int:
+        return len(self._output_links)
+
+    def inject(self, packet: Packet) -> None:
+        """Accept a packet from the local transport layer or a neighbour."""
+        self.stats.counter("packets_switched").increment()
+        self.sim.schedule(self.config.forwarding_latency_ns, self._route, packet)
+
+    def _route(self, packet: Packet) -> None:
+        if packet.dst == self.node_id:
+            self._eject(packet)
+            return
+        try:
+            entry = self.routing_table.lookup(packet.dst)
+        except RoutingError:
+            self.stats.counter("packets_unroutable").increment()
+            raise
+        datalink = self._output_links.get(entry.out_port)
+        if datalink is None:
+            self.stats.counter("packets_unroutable").increment()
+            raise RoutingError(
+                f"{self.name}: route to node {packet.dst} uses unattached port "
+                f"{entry.out_port}"
+            )
+        self.stats.counter(f"port{entry.out_port}_forwarded").increment()
+        datalink.send_and_forget(packet)
+
+    def _eject(self, packet: Packet) -> None:
+        self.stats.counter("packets_ejected").increment()
+        if self._local_sink is None:
+            self.stats.counter("packets_dropped_no_sink").increment()
+            return
+        self._local_sink(packet)

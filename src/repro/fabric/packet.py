@@ -1,0 +1,97 @@
+"""Packet and flit definitions shared by every fabric layer."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Flit payload size in bytes (the prototype's 125 MHz x 32-bit parallel
+#: datapath moves 4 bytes per parallel-clock cycle).
+FLIT_BYTES = 4
+
+#: Per-packet header/CRC overhead in bytes (route, sequence number,
+#: channel id, CRC-16).  Matches the "ultra-lightweight protocol"
+#: described in Section 5.1.1.
+HEADER_BYTES = 16
+
+
+class PacketKind(enum.Enum):
+    """Transport-level packet types carried over the fabric."""
+
+    CRMA_READ = "crma_read"
+    CRMA_READ_RESP = "crma_read_resp"
+    CRMA_WRITE = "crma_write"
+    CRMA_WRITE_ACK = "crma_write_ack"
+    RDMA_CHUNK = "rdma_chunk"
+    RDMA_ACK = "rdma_ack"
+    QPAIR_DATA = "qpair_data"
+    QPAIR_ACK = "qpair_ack"
+    CREDIT_UPDATE = "credit_update"
+    CONTROL = "control"
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A transport-layer packet travelling through the fabric.
+
+    Attributes
+    ----------
+    src, dst:
+        Fabric node identifiers of the sender and receiver.
+    kind:
+        Transport-level packet type.
+    payload_bytes:
+        Size of the payload carried (headers are added by the layers).
+    address:
+        Remote physical address for CRMA/RDMA packets.
+    sequence:
+        Per-flow sequence number; required because inter-channel
+        collaboration lets packets of one logical flow arrive out of
+        order (Section 5.1.3).
+    flow_id:
+        Logical flow identifier used by the routing/forwarding tables.
+    payload:
+        Arbitrary model-level payload (not interpreted by the fabric).
+    """
+
+    src: int
+    dst: int
+    kind: PacketKind
+    payload_bytes: int
+    address: Optional[int] = None
+    sequence: int = 0
+    flow_id: int = 0
+    payload: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: int = 0
+    hops: int = 0
+    corrupted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be non-negative, got {self.payload_bytes}")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire including header/CRC overhead."""
+        return self.payload_bytes + HEADER_BYTES
+
+    @property
+    def flit_count(self) -> int:
+        """Number of flits needed to carry this packet."""
+        return max(1, -(-self.wire_bytes // FLIT_BYTES))
+
+    def is_control(self) -> bool:
+        """True for small control/ack/credit packets."""
+        return self.kind in (
+            PacketKind.CRMA_WRITE_ACK,
+            PacketKind.RDMA_ACK,
+            PacketKind.QPAIR_ACK,
+            PacketKind.CREDIT_UPDATE,
+            PacketKind.CONTROL,
+        )

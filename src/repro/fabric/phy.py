@@ -1,0 +1,117 @@
+"""Physical layer: point-to-point links.
+
+A :class:`PhysicalLink` models one direction of a serial link: packets
+occupy the link for their serialization time (wire bytes over the link
+bandwidth) and arrive at the far end after an additional propagation /
+PHY latency.  The prototype's programmable-logic throughput caps and
+inserted delays (Section 4.2) are modelled by the ``bandwidth_gbps``
+and ``extra_delay_ns`` knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Delay, Process, SimEvent
+from repro.sim.resources import Store
+from repro.sim.rng import DeterministicRNG
+from repro.sim.stats import StatsRegistry
+from repro.fabric.packet import Packet
+
+
+@dataclass
+class LinkConfig:
+    """Static parameters of a physical link.
+
+    Defaults mirror Table 1: 5 Gbps serial links with a 1.4 us
+    end-to-end point-to-point latency, the bulk of which the paper
+    attributes to the PHY.  ``phy_latency_ns`` is the one-way
+    propagation + SerDes latency; serialization time is computed from
+    the packet size and ``bandwidth_gbps``.
+    """
+
+    bandwidth_gbps: float = 5.0
+    phy_latency_ns: int = 1250
+    extra_delay_ns: int = 0
+    bit_error_rate: float = 0.0
+    queue_capacity: int = 64
+
+    def serialization_ns(self, wire_bytes: int) -> int:
+        """Time to clock ``wire_bytes`` onto the link."""
+        if wire_bytes <= 0:
+            return 0
+        bits = wire_bytes * 8
+        return max(1, int(round(bits / self.bandwidth_gbps)))
+
+    def packet_latency_ns(self, wire_bytes: int) -> int:
+        """Uncontended one-way latency for a packet of ``wire_bytes``."""
+        return self.serialization_ns(wire_bytes) + self.phy_latency_ns + self.extra_delay_ns
+
+
+class PhysicalLink:
+    """One direction of a serial point-to-point link.
+
+    Packets are transmitted in FIFO order; the link is busy for the
+    serialization time of each packet, then the packet is delivered to
+    the registered sink after the propagation latency.  Corruption is
+    injected according to ``bit_error_rate`` and flagged on the packet
+    so the datalink layer's CRC check can catch it.
+    """
+
+    def __init__(self, sim: Simulator, config: LinkConfig, name: str = "link",
+                 rng: Optional[DeterministicRNG] = None):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.rng = rng or DeterministicRNG(0)
+        self.stats = StatsRegistry(name)
+        self._queue: Store = Store(sim, capacity=config.queue_capacity, name=f"{name}.txq")
+        self._sink: Optional[Callable[[Packet], None]] = None
+        self._pump = Process(sim, self._transmit_loop(), name=f"{name}.pump")
+
+    def connect(self, sink: Callable[[Packet], None]) -> None:
+        """Register the receive callback at the far end of the link."""
+        self._sink = sink
+
+    def send(self, packet: Packet) -> SimEvent:
+        """Enqueue a packet for transmission.
+
+        The returned event fires when the packet has been accepted into
+        the transmit queue (backpressure point for upper layers).
+        """
+        self.stats.counter("packets_offered").increment()
+        return self._queue.put(packet)
+
+    def busy_fraction(self) -> float:
+        """Fraction of elapsed time the link spent serializing packets."""
+        busy = self.stats.counter("busy_ns").value
+        if self.sim.now == 0:
+            return 0.0
+        return busy / self.sim.now
+
+    def _transmit_loop(self):
+        while True:
+            packet = yield self._queue.get()
+            serialization = self.config.serialization_ns(packet.wire_bytes)
+            self.stats.counter("busy_ns").increment(serialization)
+            yield Delay(serialization)
+            self.stats.counter("packets_sent").increment()
+            self.stats.counter("bytes_sent").increment(packet.wire_bytes)
+            if self.config.bit_error_rate > 0.0:
+                error_probability = min(
+                    1.0, self.config.bit_error_rate * packet.wire_bytes * 8
+                )
+                if self.rng.bernoulli(error_probability):
+                    packet.corrupted = True
+                    self.stats.counter("packets_corrupted").increment()
+            delivery_delay = self.config.phy_latency_ns + self.config.extra_delay_ns
+            self.sim.schedule(delivery_delay, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.hops += 1
+        if self._sink is None:
+            self.stats.counter("packets_dropped_no_sink").increment()
+            return
+        self._sink(packet)

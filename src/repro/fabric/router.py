@@ -1,0 +1,94 @@
+"""External (off-chip) router model.
+
+Section 4.2.2 inserts a one-level external router between the two
+resource-sharing nodes and measures the additional end-to-end overhead
+(Figure 6).  The external router is a store-and-forward device: every
+packet pays an extra PHY crossing plus the router's own forwarding
+latency, and contended output ports serialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Delay, Process
+from repro.sim.resources import Store
+from repro.sim.stats import StatsRegistry
+from repro.fabric.packet import Packet
+from repro.fabric.phy import LinkConfig, PhysicalLink
+
+
+@dataclass
+class RouterConfig:
+    """Parameters of the external router."""
+
+    #: Internal forwarding latency (lookup + crossbar + scheduling), ns.
+    forwarding_latency_ns: int = 300
+    #: Per-port buffer capacity in packets.
+    port_buffer_packets: int = 128
+    #: Link configuration of the router's ports.  The router sits in the
+    #: same rack, so its extra hop crosses a short electrical link rather
+    #: than another full-length optical run; the default therefore uses a
+    #: much smaller PHY latency than the node-to-node links.
+    link: LinkConfig = None
+
+    def __post_init__(self) -> None:
+        if self.link is None:
+            self.link = LinkConfig(phy_latency_ns=300)
+
+
+class ExternalRouter:
+    """One-level external router joining multiple nodes.
+
+    Nodes attach by registering their node id; the router owns the
+    downstream :class:`PhysicalLink` towards each attached node, so a
+    packet relayed through the router pays serialization + PHY latency
+    twice (node-to-router and router-to-node) plus the router's
+    forwarding latency -- the behaviour Figure 6 quantifies.
+    """
+
+    def __init__(self, sim: Simulator, config: Optional[RouterConfig] = None,
+                 name: str = "router"):
+        self.sim = sim
+        self.config = config or RouterConfig()
+        self.name = name
+        self.stats = StatsRegistry(name)
+        self._ingress: Store = Store(sim, capacity=self.config.port_buffer_packets,
+                                     name=f"{name}.ingress")
+        self._downlinks: Dict[int, PhysicalLink] = {}
+        self._pump = Process(sim, self._forward_loop(), name=f"{name}.pump")
+
+    def attach_node(self, node_id: int, sink) -> PhysicalLink:
+        """Attach a node; returns the router-to-node link feeding ``sink``."""
+        link = PhysicalLink(self.sim, self.config.link, name=f"{self.name}->node{node_id}")
+        link.connect(sink)
+        self._downlinks[node_id] = link
+        return link
+
+    @property
+    def attached_nodes(self) -> int:
+        return len(self._downlinks)
+
+    def receive(self, packet: Packet) -> None:
+        """Ingress callback for node-to-router links."""
+        self.stats.counter("packets_received").increment()
+        if not self._ingress.try_put(packet):
+            self.stats.counter("packets_dropped").increment()
+
+    def added_latency_ns(self, wire_bytes: int) -> int:
+        """Extra one-way latency a packet pays by crossing this router."""
+        extra_phy = self.config.link.packet_latency_ns(wire_bytes)
+        return self.config.forwarding_latency_ns + extra_phy
+
+    def _forward_loop(self):
+        while True:
+            packet = yield self._ingress.get()
+            yield Delay(self.config.forwarding_latency_ns)
+            downlink = self._downlinks.get(packet.dst)
+            if downlink is None:
+                self.stats.counter("packets_unroutable").increment()
+                continue
+            self.stats.counter("packets_forwarded").increment()
+            yield downlink.send(packet)

@@ -1,0 +1,140 @@
+"""Topology builders and hop-distance queries.
+
+The prototype connects eight nodes in a 3D mesh (a 2x2x2 cube).  The
+latency-analysis experiments additionally use a directly connected node
+pair and a pair joined through one external router.  The
+:class:`Topology` class captures nodes, links and shortest-path hop
+counts; the Venice system builder (:mod:`repro.core.system`) uses it to
+wire switches and to program routing tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+
+@dataclass
+class Topology:
+    """A named interconnection topology over integer node identifiers."""
+
+    name: str
+    graph: nx.Graph = field(default_factory=nx.Graph)
+    #: Optional grid coordinates for mesh topologies (node -> (x, y, z)).
+    coordinates: Dict[int, Tuple[int, int, int]] = field(default_factory=dict)
+    #: Nodes that are routers rather than compute nodes.
+    router_nodes: List[int] = field(default_factory=list)
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self.graph.nodes)
+
+    @property
+    def compute_nodes(self) -> List[int]:
+        routers = set(self.router_nodes)
+        return [node for node in self.nodes if node not in routers]
+
+    @property
+    def links(self) -> List[Tuple[int, int]]:
+        return [tuple(sorted(edge)) for edge in self.graph.edges]
+
+    def neighbors(self, node: int) -> List[int]:
+        return sorted(self.graph.neighbors(node))
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of fabric hops on the shortest path from src to dst."""
+        if src == dst:
+            return 0
+        return nx.shortest_path_length(self.graph, src, dst)
+
+    def shortest_path(self, src: int, dst: int) -> List[int]:
+        """Node sequence (inclusive) of the shortest path."""
+        return nx.shortest_path(self.graph, src, dst)
+
+    def next_hop(self, src: int, dst: int) -> int:
+        """First intermediate node on the path from src towards dst."""
+        if src == dst:
+            raise ValueError("next_hop undefined for src == dst")
+        path = self.shortest_path(src, dst)
+        return path[1]
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph) if self.graph.number_of_nodes() else True
+
+    def diameter(self) -> int:
+        if self.graph.number_of_nodes() <= 1:
+            return 0
+        return nx.diameter(self.graph)
+
+    def validate(self) -> None:
+        """Raise if the topology is unusable (disconnected or empty)."""
+        if self.graph.number_of_nodes() == 0:
+            raise ValueError(f"topology {self.name!r} has no nodes")
+        if not self.is_connected():
+            raise ValueError(f"topology {self.name!r} is disconnected")
+
+
+def build_direct_pair(node_a: int = 0, node_b: int = 1) -> Topology:
+    """Two nodes joined by a single optical link (Section 4.2 setup)."""
+    topo = Topology(name="direct_pair")
+    topo.graph.add_edge(node_a, node_b)
+    return topo
+
+
+def build_star(num_nodes: int, router_id: Optional[int] = None) -> Topology:
+    """Nodes connected through one central external router (Figure 6)."""
+    if num_nodes < 2:
+        raise ValueError("a star topology needs at least two compute nodes")
+    router = router_id if router_id is not None else num_nodes
+    topo = Topology(name="star")
+    for node in range(num_nodes):
+        topo.graph.add_edge(node, router)
+    topo.router_nodes.append(router)
+    return topo
+
+
+def build_mesh3d(dims: Tuple[int, int, int] = (2, 2, 2)) -> Topology:
+    """3D mesh of ``dims`` nodes (the prototype uses a 2x2x2 mesh)."""
+    x_dim, y_dim, z_dim = dims
+    if min(dims) < 1:
+        raise ValueError(f"mesh dimensions must be positive, got {dims}")
+    topo = Topology(name=f"mesh3d_{x_dim}x{y_dim}x{z_dim}")
+
+    def node_id(x: int, y: int, z: int) -> int:
+        return x + y * x_dim + z * x_dim * y_dim
+
+    for x, y, z in itertools.product(range(x_dim), range(y_dim), range(z_dim)):
+        node = node_id(x, y, z)
+        topo.graph.add_node(node)
+        topo.coordinates[node] = (x, y, z)
+        if x + 1 < x_dim:
+            topo.graph.add_edge(node, node_id(x + 1, y, z))
+        if y + 1 < y_dim:
+            topo.graph.add_edge(node, node_id(x, y + 1, z))
+        if z + 1 < z_dim:
+            topo.graph.add_edge(node, node_id(x, y, z + 1))
+    return topo
+
+
+def dimension_order_route(topo: Topology, src: int, dst: int) -> List[int]:
+    """X-then-Y-then-Z route through a mesh with coordinates.
+
+    Falls back to the generic shortest path when coordinates are not
+    available (non-mesh topologies).
+    """
+    if src == dst:
+        return [src]
+    if src not in topo.coordinates or dst not in topo.coordinates:
+        return topo.shortest_path(src, dst)
+    coord_to_node = {coord: node for node, coord in topo.coordinates.items()}
+    current = list(topo.coordinates[src])
+    target = topo.coordinates[dst]
+    path = [src]
+    for axis in range(3):
+        while current[axis] != target[axis]:
+            current[axis] += 1 if target[axis] > current[axis] else -1
+            path.append(coord_to_node[tuple(current)])
+    return path

@@ -1,0 +1,73 @@
+"""Shared latency composition for commodity interconnects.
+
+A remote operation over a commodity interconnect pays, in order:
+
+1. the sender's software stack (system call, protocol processing,
+   driver, descriptor posting);
+2. the host adapter / IO-bus crossing (PCIe hop to the NIC/HCA);
+3. serialization of the message onto the wire at link bandwidth;
+4. wire propagation (and possibly a switch);
+5. the receiver's adapter and software stack (interrupt or polling);
+
+and the same again for the response.  :class:`InterconnectProfile`
+captures those components so every baseline is built from the same
+recipe with different constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class InterconnectProfile:
+    """Latency/bandwidth components of one commodity interconnect."""
+
+    name: str
+    #: Link bandwidth in Gbps.
+    bandwidth_gbps: float
+    #: Per-operation software-stack overhead on the requesting side, ns.
+    request_software_ns: int
+    #: Per-operation software-stack overhead on the serving side, ns
+    #: (interrupt handling, kernel block layer, protocol processing).
+    response_software_ns: int
+    #: Host adapter + IO bus crossing latency (one way), ns.
+    adapter_ns: int
+    #: Wire / switch propagation latency (one way), ns.
+    wire_ns: int
+    #: Fixed per-message protocol overhead in bytes (headers, CRC, DLLP).
+    protocol_overhead_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+        for field_name in ("request_software_ns", "response_software_ns",
+                           "adapter_ns", "wire_ns", "protocol_overhead_bytes"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{self.name}: {field_name} must be non-negative")
+
+    def serialization_ns(self, payload_bytes: int) -> int:
+        """Time to put ``payload_bytes`` (plus protocol overhead) on the wire."""
+        total_bytes = payload_bytes + self.protocol_overhead_bytes
+        return int(total_bytes * 8 / self.bandwidth_gbps)
+
+    def one_way_ns(self, payload_bytes: int, software: bool = True) -> int:
+        """One-way message latency for a payload of ``payload_bytes``."""
+        latency = self.adapter_ns + self.wire_ns + self.serialization_ns(payload_bytes)
+        if software:
+            latency += self.request_software_ns
+        return latency
+
+
+def round_trip_latency_ns(profile: InterconnectProfile, request_bytes: int,
+                          response_bytes: int) -> int:
+    """End-to-end request/response latency over ``profile``.
+
+    Both directions cross the adapters and wire; the requester pays its
+    software stack once at issue and the responder pays its stack once
+    per request (service + response posting).
+    """
+    request_ns = profile.one_way_ns(request_bytes, software=True)
+    service_ns = profile.response_software_ns
+    response_ns = profile.one_way_ns(response_bytes, software=False) + profile.adapter_ns
+    return request_ns + service_ns + response_ns

@@ -1,0 +1,55 @@
+"""10 Gb Ethernet remote-memory baseline.
+
+The legacy configuration in Section 4.1 exposes a donor node's memory
+as a swap partition through a vDisk driver: every page fault becomes a
+block request carried over TCP/IP and 10 GbE.  The latency is dominated
+by the software stack (socket layer, TCP, interrupt handling) rather
+than the wire, which is exactly why the paper finds it an order of
+magnitude too slow for fine-grained sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.interconnects.base import InterconnectProfile, round_trip_latency_ns
+from repro.mem.swap import SwapDevice
+
+
+@dataclass
+class EthernetProfile(InterconnectProfile):
+    """Default 10 GbE + TCP/IP constants.
+
+    The ~21 us request software path and ~24 us response path reflect
+    kernel TCP/IP transmit/receive costs plus the vDisk block-layer
+    round trip on mid-2010s Xeon-class servers.
+    """
+
+    name: str = "10GbE-TCP-vDisk"
+    bandwidth_gbps: float = 10.0
+    request_software_ns: int = 30_000
+    response_software_ns: int = 36_000
+    adapter_ns: int = 3_000
+    wire_ns: int = 2_000
+    protocol_overhead_bytes: int = 78  # Ethernet + IP + TCP headers
+
+
+#: Block-request descriptor size for the vDisk protocol.
+_BLOCK_REQUEST_BYTES = 128
+
+
+class EthernetSwapDevice(SwapDevice):
+    """Swap backend: remote memory behind a vDisk over 10 GbE."""
+
+    name = "ethernet-vdisk"
+
+    def __init__(self, profile: EthernetProfile = None):
+        self.profile = profile or EthernetProfile()
+
+    def read_page_latency_ns(self, page_bytes: int) -> int:
+        """Page-in: small request out, full page back."""
+        return round_trip_latency_ns(self.profile, _BLOCK_REQUEST_BYTES, page_bytes)
+
+    def write_page_latency_ns(self, page_bytes: int) -> int:
+        """Page-out: full page out, small acknowledgement back."""
+        return round_trip_latency_ns(self.profile, page_bytes, _BLOCK_REQUEST_BYTES)

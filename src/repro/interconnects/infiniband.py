@@ -1,0 +1,46 @@
+"""InfiniBand SRP remote-memory baseline.
+
+The second legacy configuration in Section 4.1 uses InfiniBand's SCSI
+RDMA Protocol (SRP) to present donor memory as a virtual block device.
+The HCA offloads the transport, so the per-operation software cost is
+much lower than the Ethernet/TCP path, but every page still traverses
+the SCSI block layer and the PCIe-attached HCA on both ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interconnects.base import InterconnectProfile, round_trip_latency_ns
+from repro.mem.swap import SwapDevice
+
+
+@dataclass
+class InfinibandProfile(InterconnectProfile):
+    """Default QDR/FDR-class InfiniBand + SRP constants."""
+
+    name: str = "InfiniBand-SRP"
+    bandwidth_gbps: float = 40.0
+    request_software_ns: int = 14_000   # SCSI midlayer + SRP initiator
+    response_software_ns: int = 17_000  # target-side SRP service + completion IRQ
+    adapter_ns: int = 1_200             # HCA + PCIe crossing
+    wire_ns: int = 800                  # switch hop + cable
+    protocol_overhead_bytes: int = 70
+
+
+_SRP_COMMAND_BYTES = 96
+
+
+class InfinibandSrpSwapDevice(SwapDevice):
+    """Swap backend: remote memory behind an SRP virtual block device."""
+
+    name = "infiniband-srp"
+
+    def __init__(self, profile: InfinibandProfile = None):
+        self.profile = profile or InfinibandProfile()
+
+    def read_page_latency_ns(self, page_bytes: int) -> int:
+        return round_trip_latency_ns(self.profile, _SRP_COMMAND_BYTES, page_bytes)
+
+    def write_page_latency_ns(self, page_bytes: int) -> int:
+        return round_trip_latency_ns(self.profile, page_bytes, _SRP_COMMAND_BYTES)

@@ -1,0 +1,67 @@
+"""Local DRAM timing model.
+
+The prototype nodes carry a 1 GB SODIMM.  The model charges a fixed
+access latency per cacheline-sized request plus a bandwidth-derived
+transfer time for larger (DMA / page) requests.  It is deliberately a
+closed-form timing model rather than a bank-level simulator: every
+experiment in the paper contrasts local DRAM latency against *fabric*
+latency, which is an order of magnitude larger, so bank-level detail
+does not change any conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class DramConfig:
+    """Timing and capacity of a node's local DRAM."""
+
+    capacity_bytes: int = 1 * 1024 * 1024 * 1024
+    #: Closed-row access latency for a cacheline request, ns.
+    access_latency_ns: int = 60
+    #: Sustained bandwidth for streaming transfers, GB/s.
+    bandwidth_gbps: float = 25.6
+    #: Additional latency charged per DMA descriptor (setup cost), ns.
+    dma_setup_ns: int = 200
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("DRAM capacity must be positive")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("DRAM bandwidth must be positive")
+
+
+class Dram:
+    """Closed-form DRAM latency/bandwidth model."""
+
+    def __init__(self, config: Optional[DramConfig] = None, name: str = "dram"):
+        self.config = config or DramConfig()
+        self.name = name
+        self.stats = StatsRegistry(name)
+
+    def access_latency_ns(self, size_bytes: int) -> int:
+        """Latency of a demand access of ``size_bytes`` (cacheline fill)."""
+        if size_bytes <= 0:
+            raise ValueError(f"access size must be positive, got {size_bytes}")
+        self.stats.counter("accesses").increment()
+        self.stats.counter("bytes").increment(size_bytes)
+        transfer_ns = int(size_bytes * 8 / self.config.bandwidth_gbps)
+        return self.config.access_latency_ns + transfer_ns
+
+    def dma_latency_ns(self, size_bytes: int) -> int:
+        """Latency of a DMA transfer of ``size_bytes`` to/from DRAM."""
+        if size_bytes <= 0:
+            raise ValueError(f"DMA size must be positive, got {size_bytes}")
+        self.stats.counter("dma_transfers").increment()
+        self.stats.counter("bytes").increment(size_bytes)
+        transfer_ns = int(size_bytes * 8 / self.config.bandwidth_gbps)
+        return self.config.dma_setup_ns + self.config.access_latency_ns + transfer_ns
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.config.capacity_bytes

@@ -1,0 +1,61 @@
+"""Linux-bonding-style NIC aggregation.
+
+Section 5.2.3: the recipient node combines its local NIC and one or
+more emulated remote NICs (VNIC front-ends) into a single virtual
+interface using the Linux network bonding mechanism.  Traffic is
+distributed across the member interfaces, so aggregate throughput is
+the sum of the members' sustainable throughputs -- each member paying
+its own per-packet costs (which, for remote members, include the
+IP-over-QPair forwarding path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class BondingError(RuntimeError):
+    """Raised when a bond is constructed without members."""
+
+
+class BondedInterface:
+    """Aggregate of one or more NIC-like members.
+
+    Members must expose ``throughput_gbps(payload_bytes)`` and
+    ``line_rate_utilization(payload_bytes)`` -- satisfied both by
+    :class:`repro.nic.nic.Nic` (local NIC) and by
+    :class:`repro.core.sharing.remote_nic.VirtualNic` (remote NIC via
+    IP-over-QPair).
+    """
+
+    def __init__(self, members: Sequence) -> None:
+        if not members:
+            raise BondingError("a bonded interface needs at least one member")
+        self.members: List = list(members)
+
+    @property
+    def member_count(self) -> int:
+        return len(self.members)
+
+    def throughput_gbps(self, payload_bytes: int) -> float:
+        """Aggregate goodput for a fixed-size packet stream."""
+        return sum(member.throughput_gbps(payload_bytes) for member in self.members)
+
+    def per_member_throughput(self, payload_bytes: int) -> List[float]:
+        return [member.throughput_gbps(payload_bytes) for member in self.members]
+
+    def line_rate_utilization(self, payload_bytes: int) -> float:
+        """Aggregate goodput as a fraction of the members' combined line rate."""
+        achieved = sum(member.throughput_gbps(payload_bytes) for member in self.members)
+        ideal_total = sum(member.ideal_throughput_gbps(payload_bytes)
+                          for member in self.members)
+        if ideal_total <= 0:
+            return 0.0
+        return min(1.0, achieved / ideal_total)
+
+    def speedup_over(self, baseline, payload_bytes: int) -> float:
+        """Throughput ratio of this bond over a single baseline interface."""
+        base = baseline.throughput_gbps(payload_bytes)
+        if base <= 0:
+            return 0.0
+        return self.throughput_gbps(payload_bytes) / base

@@ -1,0 +1,91 @@
+"""Physical NIC model.
+
+A NIC is characterised by its line rate, a per-packet processing cost
+(descriptor handling, DMA, header processing) and a per-packet
+wire overhead (preamble, Ethernet/IP/UDP headers, inter-frame gap).
+Throughput for a stream of fixed-size packets is limited by whichever
+of the two is the bottleneck -- which is exactly the effect Figure 16b
+measures: tiny 4 B payloads are packet-rate bound while 256 B payloads
+approach line rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.stats import StatsRegistry
+
+#: Ethernet + IP + UDP header bytes added to every payload.
+WIRE_HEADER_BYTES = 42
+#: Preamble + FCS + inter-frame gap, accounted as extra wire bytes.
+WIRE_FRAMING_BYTES = 24
+#: Minimum Ethernet payload (frames are padded up to this).
+MIN_PAYLOAD_BYTES = 46
+
+
+@dataclass
+class NicConfig:
+    """Static parameters of a NIC port."""
+
+    name: str = "nic"
+    line_rate_gbps: float = 1.0
+    #: Per-packet host-side processing cost (driver + descriptor + DMA), ns.
+    per_packet_overhead_ns: int = 550
+    #: Maximum packets per second the NIC/driver pair can sustain.
+    max_packet_rate_pps: float = 1.6e6
+
+    def __post_init__(self) -> None:
+        if self.line_rate_gbps <= 0 or self.max_packet_rate_pps <= 0:
+            raise ValueError("line rate and packet rate must be positive")
+        if self.per_packet_overhead_ns < 0:
+            raise ValueError("per-packet overhead must be non-negative")
+
+
+class Nic:
+    """A single NIC port with rate- and packet-limited throughput."""
+
+    def __init__(self, config: Optional[NicConfig] = None, node_id: int = 0):
+        self.config = config or NicConfig()
+        self.node_id = node_id
+        self.stats = StatsRegistry(self.config.name)
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        """Bytes occupied on the wire by one payload (padded + framed)."""
+        padded = max(payload_bytes, MIN_PAYLOAD_BYTES)
+        return padded + WIRE_HEADER_BYTES + WIRE_FRAMING_BYTES
+
+    def packet_time_ns(self, payload_bytes: int) -> float:
+        """Time one packet occupies this NIC (max of wire and host cost)."""
+        if payload_bytes < 0:
+            raise ValueError("payload size must be non-negative")
+        wire_ns = self.wire_bytes(payload_bytes) * 8 / self.config.line_rate_gbps
+        rate_ns = 1e9 / self.config.max_packet_rate_pps
+        host_ns = self.config.per_packet_overhead_ns
+        return max(wire_ns, rate_ns, host_ns)
+
+    def throughput_gbps(self, payload_bytes: int, extra_per_packet_ns: float = 0.0) -> float:
+        """Sustained goodput (payload bits only) for a fixed-size stream.
+
+        ``extra_per_packet_ns`` lets callers add costs incurred outside
+        the NIC itself, e.g. the IP-over-QPair forwarding path when the
+        NIC is accessed remotely.
+        """
+        per_packet = self.packet_time_ns(payload_bytes) + extra_per_packet_ns
+        if per_packet <= 0:
+            return 0.0
+        packets_per_second = 1e9 / per_packet
+        self.stats.counter("throughput_queries").increment()
+        return packets_per_second * payload_bytes * 8 / 1e9
+
+    def ideal_throughput_gbps(self, payload_bytes: int) -> float:
+        """Goodput if the NIC ran at pure line rate with no host limits."""
+        return self.config.line_rate_gbps * payload_bytes / self.wire_bytes(payload_bytes)
+
+    def line_rate_utilization(self, payload_bytes: int,
+                              extra_per_packet_ns: float = 0.0) -> float:
+        """Fraction of the goodput achievable at pure line rate."""
+        ideal = self.ideal_throughput_gbps(payload_bytes)
+        if ideal <= 0:
+            return 0.0
+        return min(1.0, self.throughput_gbps(payload_bytes, extra_per_packet_ns) / ideal)

@@ -1,0 +1,144 @@
+"""Per-node daemon agent.
+
+A daemon process on every node collects resource-availability
+information and reports it to the Monitor Node periodically; the report
+doubles as a heartbeat from which the MN infers node liveness
+(Section 5.3).  The agent also executes the donor side of the sharing
+handshake: when asked to hot-remove memory it checks that the memory is
+still actually free -- MN records can be stale -- and refuses
+otherwise, triggering the MN's retry path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.runtime.tables import LinkStatus, ResourceKind
+
+
+@dataclass
+class HeartbeatReport:
+    """One heartbeat message from an agent to the Monitor Node."""
+
+    node_id: int
+    timestamp_ns: int
+    #: Available amount per resource kind (bytes for memory, units else).
+    available: Dict[ResourceKind, int] = field(default_factory=dict)
+    #: Capacity per resource kind.
+    capacity: Dict[ResourceKind, int] = field(default_factory=dict)
+    #: Link status towards each fabric neighbour.
+    link_status: Dict[int, LinkStatus] = field(default_factory=dict)
+
+
+class NodeAgent:
+    """Donor/recipient-side software agent for one node."""
+
+    def __init__(self, node_id: int, memory_capacity_bytes: int,
+                 num_accelerators: int = 0, num_nics: int = 0,
+                 neighbors: Tuple[int, ...] = (),
+                 reserve_bytes: int = 0):
+        if memory_capacity_bytes <= 0:
+            raise ValueError("memory capacity must be positive")
+        if reserve_bytes < 0 or reserve_bytes > memory_capacity_bytes:
+            raise ValueError("reserve must be within [0, capacity]")
+        self.node_id = node_id
+        self.memory_capacity_bytes = memory_capacity_bytes
+        self.reserve_bytes = reserve_bytes
+        self.num_accelerators = num_accelerators
+        self.num_nics = num_nics
+        self.neighbors = tuple(neighbors)
+        #: Memory consumed by local workloads (updated by the node).
+        self.local_memory_used_bytes = 0
+        #: Memory currently donated to other nodes.
+        self.donated_bytes = 0
+        self.accelerators_donated = 0
+        self.nics_donated = 0
+        self._link_status: Dict[int, LinkStatus] = {
+            neighbor: LinkStatus.UP for neighbor in self.neighbors
+        }
+
+    # ------------------------------------------------------------------
+    # Local state updates
+    # ------------------------------------------------------------------
+    def set_local_usage(self, used_bytes: int) -> None:
+        """Record how much memory local workloads are currently using."""
+        if used_bytes < 0:
+            raise ValueError("usage must be non-negative")
+        self.local_memory_used_bytes = used_bytes
+
+    def set_link_status(self, neighbor: int, status: LinkStatus) -> None:
+        self._link_status[neighbor] = status
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def idle_memory_bytes(self) -> int:
+        """Memory the agent is willing to offer for donation."""
+        committed = (self.local_memory_used_bytes + self.donated_bytes
+                     + self.reserve_bytes)
+        return max(0, self.memory_capacity_bytes - committed)
+
+    def idle_accelerators(self) -> int:
+        return max(0, self.num_accelerators - self.accelerators_donated)
+
+    def idle_nics(self) -> int:
+        return max(0, self.num_nics - self.nics_donated)
+
+    def heartbeat(self, now_ns: int) -> HeartbeatReport:
+        """Build the periodic availability / link-status report."""
+        return HeartbeatReport(
+            node_id=self.node_id,
+            timestamp_ns=now_ns,
+            available={
+                ResourceKind.MEMORY: self.idle_memory_bytes(),
+                ResourceKind.ACCELERATOR: self.idle_accelerators(),
+                ResourceKind.NIC: self.idle_nics(),
+            },
+            capacity={
+                ResourceKind.MEMORY: self.memory_capacity_bytes,
+                ResourceKind.ACCELERATOR: self.num_accelerators,
+                ResourceKind.NIC: self.num_nics,
+            },
+            link_status=dict(self._link_status),
+        )
+
+    # ------------------------------------------------------------------
+    # Donor-side handshake
+    # ------------------------------------------------------------------
+    def handle_hot_remove(self, size_bytes: int) -> bool:
+        """Donate ``size_bytes`` if still free; False rejects (stale record)."""
+        if size_bytes <= 0:
+            raise ValueError("hot-remove size must be positive")
+        if size_bytes > self.idle_memory_bytes():
+            return False
+        self.donated_bytes += size_bytes
+        return True
+
+    def handle_hot_add_back(self, size_bytes: int) -> None:
+        """Reclaim previously donated memory after a stop-sharing."""
+        if size_bytes <= 0 or size_bytes > self.donated_bytes:
+            raise ValueError("invalid reclaim size")
+        self.donated_bytes -= size_bytes
+
+    def handle_accelerator_grant(self) -> bool:
+        if self.idle_accelerators() <= 0:
+            return False
+        self.accelerators_donated += 1
+        return True
+
+    def handle_accelerator_release(self) -> None:
+        if self.accelerators_donated <= 0:
+            raise ValueError("no donated accelerators to release")
+        self.accelerators_donated -= 1
+
+    def handle_nic_grant(self) -> bool:
+        if self.idle_nics() <= 0:
+            return False
+        self.nics_donated += 1
+        return True
+
+    def handle_nic_release(self) -> None:
+        if self.nics_donated <= 0:
+            raise ValueError("no donated NICs to release")
+        self.nics_donated -= 1

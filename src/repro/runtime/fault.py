@@ -1,0 +1,194 @@
+"""Fault handling for the resource-sharing runtime.
+
+The paper leaves fault containment as future work but names the
+ingredients: heartbeats let the Monitor Node infer node status, and the
+Topology Status Table tracks link health from agent reports.  This
+module implements the recovery actions on top of those tables:
+
+* **link failures** -- when a link goes down, allocations whose
+  requester-to-donor path used that link are flagged; the recovery plan
+  either re-routes (if another path exists) or re-allocates from a
+  different donor.
+* **node failures** -- when a node's heartbeats stop, every allocation
+  it is involved in (as donor or requester) is revoked, and its donated
+  resources are written off until it returns.
+
+Recovery is expressed as a :class:`RecoveryPlan` so callers (and tests)
+can inspect exactly what the runtime decided to do.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.runtime.monitor import AllocationError, MonitorNode
+from repro.runtime.tables import AllocationRecord, LinkStatus, ResourceKind
+
+
+class RecoveryAction(enum.Enum):
+    """What the runtime decided to do about one affected allocation."""
+
+    UNAFFECTED = "unaffected"
+    REROUTE = "reroute"
+    REALLOCATE = "reallocate"
+    REVOKE = "revoke"
+
+
+@dataclass
+class RecoveryStep:
+    """One allocation's recovery decision."""
+
+    allocation: AllocationRecord
+    action: RecoveryAction
+    #: New donor when the action is REALLOCATE.
+    new_donor: Optional[int] = None
+    #: Alternate path when the action is REROUTE.
+    new_path: Optional[List[int]] = None
+
+
+@dataclass
+class RecoveryPlan:
+    """The full outcome of handling one fault event."""
+
+    event: str
+    steps: List[RecoveryStep] = field(default_factory=list)
+
+    def affected(self) -> List[RecoveryStep]:
+        return [step for step in self.steps
+                if step.action is not RecoveryAction.UNAFFECTED]
+
+    def count(self, action: RecoveryAction) -> int:
+        return sum(1 for step in self.steps if step.action is action)
+
+
+class FaultHandler:
+    """Implements link- and node-failure recovery over a MonitorNode."""
+
+    def __init__(self, monitor: MonitorNode):
+        self.monitor = monitor
+        self.events_handled = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _path_uses_link(self, requester: int, donor: int,
+                        link: Tuple[int, int]) -> bool:
+        path = self.monitor.topology.shortest_path(requester, donor)
+        links = {tuple(sorted(pair)) for pair in zip(path, path[1:])}
+        return tuple(sorted(link)) in links
+
+    def _alternate_path(self, requester: int, donor: int,
+                        down_link: Tuple[int, int]) -> Optional[List[int]]:
+        """Shortest path avoiding ``down_link``, or None if disconnected."""
+        graph = self.monitor.topology.graph.copy()
+        if graph.has_edge(*down_link):
+            graph.remove_edge(*down_link)
+        try:
+            return nx.shortest_path(graph, requester, donor)
+        except nx.NetworkXNoPath:
+            return None
+
+    def _reallocate(self, allocation: AllocationRecord,
+                    exclude_donor: int) -> Optional[int]:
+        """Find a replacement donor for a failed allocation."""
+        requester = allocation.requester
+        try:
+            if allocation.kind is ResourceKind.MEMORY:
+                replacement = self.monitor.request_memory(requester, allocation.amount)
+            elif allocation.kind is ResourceKind.ACCELERATOR:
+                replacement = self.monitor.request_accelerator(requester)
+            else:
+                replacement = self.monitor.request_nic(requester)
+        except AllocationError:
+            return None
+        if replacement.donor == exclude_donor:
+            # The failed donor was somehow selected again; give it back.
+            self.monitor.release(replacement)
+            return None
+        return replacement.donor
+
+    # ------------------------------------------------------------------
+    # Fault entry points
+    # ------------------------------------------------------------------
+    def handle_link_down(self, node_a: int, node_b: int) -> RecoveryPlan:
+        """A fabric link failed: update the TST and fix affected grants."""
+        self.events_handled += 1
+        self.monitor.tst.report(node_a, node_b, LinkStatus.DOWN,
+                                now_ns=self.monitor.now_ns)
+        plan = RecoveryPlan(event=f"link({node_a},{node_b})-down")
+        for allocation in list(self.monitor.rat.active()):
+            if not self._path_uses_link(allocation.requester, allocation.donor,
+                                        (node_a, node_b)):
+                plan.steps.append(RecoveryStep(allocation, RecoveryAction.UNAFFECTED))
+                continue
+            alternate = self._alternate_path(allocation.requester, allocation.donor,
+                                             (node_a, node_b))
+            if alternate is not None:
+                plan.steps.append(RecoveryStep(allocation, RecoveryAction.REROUTE,
+                                               new_path=alternate))
+                continue
+            new_donor = self._reallocate(allocation, exclude_donor=allocation.donor)
+            if new_donor is not None:
+                self.monitor.release(
+                    _allocation_view(self.monitor, allocation))
+                plan.steps.append(RecoveryStep(allocation, RecoveryAction.REALLOCATE,
+                                               new_donor=new_donor))
+            else:
+                plan.steps.append(RecoveryStep(allocation, RecoveryAction.REVOKE))
+        return plan
+
+    def _write_off_node_resources(self, node_id: int) -> None:
+        """Mark every resource of a failed node unavailable in the RRT."""
+        from repro.runtime.tables import ResourceRecord
+
+        for kind in ResourceKind:
+            record = self.monitor.rrt.get(node_id, kind)
+            if record is not None:
+                self.monitor.rrt.register(ResourceRecord(
+                    node_id=node_id, kind=kind, capacity=record.capacity,
+                    available=0, last_heartbeat_ns=record.last_heartbeat_ns))
+
+    def handle_node_failure(self, node_id: int) -> RecoveryPlan:
+        """A node stopped heart-beating: revoke everything it touches."""
+        self.events_handled += 1
+        # Its resources are written off until the node returns, so the
+        # re-allocation below can never select the dead node again.
+        self._write_off_node_resources(node_id)
+        plan = RecoveryPlan(event=f"node{node_id}-failure")
+        for allocation in list(self.monitor.rat.active()):
+            if allocation.donor != node_id and allocation.requester != node_id:
+                plan.steps.append(RecoveryStep(allocation, RecoveryAction.UNAFFECTED))
+                continue
+            # Allocations the dead node was serving may be replaceable;
+            # allocations it was consuming are simply revoked.
+            if allocation.donor == node_id:
+                new_donor = self._reallocate(allocation, exclude_donor=node_id)
+                self.monitor.rat.release(allocation.allocation_id)
+                if new_donor is not None:
+                    plan.steps.append(RecoveryStep(allocation,
+                                                   RecoveryAction.REALLOCATE,
+                                                   new_donor=new_donor))
+                    continue
+            else:
+                self.monitor.release(_allocation_view(self.monitor, allocation))
+            plan.steps.append(RecoveryStep(allocation, RecoveryAction.REVOKE))
+        return plan
+
+    def check_heartbeats(self) -> List[RecoveryPlan]:
+        """Sweep for dead nodes and handle each as a node failure."""
+        plans = []
+        for node_id in self.monitor.dead_nodes():
+            plans.append(self.handle_node_failure(node_id))
+        return plans
+
+
+def _allocation_view(monitor: MonitorNode, record: AllocationRecord):
+    """Wrap a RAT record in the Allocation shape ``MonitorNode.release`` expects."""
+    from repro.runtime.monitor import Allocation
+
+    return Allocation(record=record, donor=record.donor, amount=record.amount,
+                      hops=monitor.topology.hop_count(record.requester, record.donor))

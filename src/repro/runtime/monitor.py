@@ -1,0 +1,203 @@
+"""Monitor Node: global resource allocation for the rack.
+
+The MN keeps the RRT/RAT/TST up to date from agent heartbeats and
+answers allocation requests.  The donor-selection policy follows the
+prototype: among nodes with enough idle resource it picks the one
+closest (fewest fabric hops) to the requester, preferring donors whose
+links to the requester are healthy.  Because RRT records can be stale,
+the MN performs a handshake with the candidate donor's agent and
+retries with the next candidate on refusal (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fabric.topology import Topology
+from repro.runtime.agent import HeartbeatReport, NodeAgent
+from repro.runtime.policies import DistanceFirstPolicy, DonorSelectionPolicy
+from repro.runtime.tables import (
+    AllocationRecord,
+    LinkStatus,
+    ResourceAllocationTable,
+    ResourceKind,
+    ResourceRecord,
+    ResourceRegistrationTable,
+    TopologyStatusTable,
+)
+
+
+class AllocationError(RuntimeError):
+    """Raised when no donor can satisfy a request."""
+
+
+@dataclass
+class Allocation:
+    """Result handed back to the requester."""
+
+    record: AllocationRecord
+    donor: int
+    amount: int
+    hops: int
+
+
+class MonitorNode:
+    """The central resource manager (must be spared in a real deployment;
+    the prototype -- and this model -- run a single instance)."""
+
+    def __init__(self, topology: Topology, heartbeat_timeout_ns: int = 5_000_000_000,
+                 policy: Optional[DonorSelectionPolicy] = None):
+        self.topology = topology
+        self.heartbeat_timeout_ns = heartbeat_timeout_ns
+        self.policy = policy or DistanceFirstPolicy()
+        self.rrt = ResourceRegistrationTable()
+        self.rat = ResourceAllocationTable()
+        self.tst = TopologyStatusTable()
+        self._agents: Dict[int, NodeAgent] = {}
+        self.now_ns = 0
+        self.requests_handled = 0
+        self.handshake_retries = 0
+
+    # ------------------------------------------------------------------
+    # Registration and heartbeats
+    # ------------------------------------------------------------------
+    def register_agent(self, agent: NodeAgent) -> None:
+        """Register a node's agent and ingest an initial report."""
+        self._agents[agent.node_id] = agent
+        self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+
+    @property
+    def registered_nodes(self) -> List[int]:
+        return sorted(self._agents)
+
+    def agent(self, node_id: int) -> NodeAgent:
+        try:
+            return self._agents[node_id]
+        except KeyError:
+            raise AllocationError(f"node {node_id} is not registered") from None
+
+    def advance_time(self, delta_ns: int) -> None:
+        """Advance the runtime's notion of time (heartbeat bookkeeping)."""
+        if delta_ns < 0:
+            raise ValueError("time cannot move backwards")
+        self.now_ns += delta_ns
+
+    def ingest_heartbeat(self, report: HeartbeatReport) -> None:
+        """Fold one heartbeat report into the RRT and TST."""
+        for kind in ResourceKind:
+            capacity = report.capacity.get(kind, 0)
+            available = report.available.get(kind, 0)
+            self.rrt.register(ResourceRecord(
+                node_id=report.node_id, kind=kind, capacity=capacity,
+                available=min(available, capacity),
+                last_heartbeat_ns=report.timestamp_ns,
+            ))
+        for neighbor, status in report.link_status.items():
+            self.tst.report(report.node_id, neighbor, status,
+                            now_ns=report.timestamp_ns)
+
+    def collect_heartbeats(self) -> None:
+        """Poll every registered agent (one heartbeat round)."""
+        for agent in self._agents.values():
+            self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+
+    def dead_nodes(self) -> List[int]:
+        """Nodes whose heartbeats have stopped arriving."""
+        return self.rrt.stale_nodes(self.now_ns, self.heartbeat_timeout_ns)
+
+    # ------------------------------------------------------------------
+    # Donor selection
+    # ------------------------------------------------------------------
+    def _candidate_donors(self, requester: int, kind: ResourceKind,
+                          amount: int) -> List[ResourceRecord]:
+        """Donors with enough idle resource, ordered by the active policy."""
+        candidates = [
+            record for record in self.rrt.records_of_kind(kind)
+            if record.node_id != requester and record.available >= amount
+        ]
+        return self.policy.order(requester, kind, candidates, self.topology, self.rat)
+
+    def _path_usable(self, requester: int, donor: int) -> bool:
+        """True when every link on the path is reported usable (or unknown)."""
+        path = self.topology.shortest_path(requester, donor)
+        for node_a, node_b in zip(path, path[1:]):
+            status = self.tst.status(node_a, node_b)
+            if status is LinkStatus.DOWN and (node_a, node_b) in [
+                (a, b) for a, b, _ in self.tst.links()
+            ]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Allocation entry points
+    # ------------------------------------------------------------------
+    def request_memory(self, requester: int, size_bytes: int) -> Allocation:
+        """Allocate ``size_bytes`` of remote memory for ``requester``."""
+        return self._request(requester, ResourceKind.MEMORY, size_bytes,
+                             handshake=lambda agent: agent.handle_hot_remove(size_bytes))
+
+    def request_accelerator(self, requester: int) -> Allocation:
+        """Allocate one remote accelerator for ``requester``."""
+        return self._request(requester, ResourceKind.ACCELERATOR, 1,
+                             handshake=lambda agent: agent.handle_accelerator_grant())
+
+    def request_nic(self, requester: int) -> Allocation:
+        """Allocate one remote NIC for ``requester``."""
+        return self._request(requester, ResourceKind.NIC, 1,
+                             handshake=lambda agent: agent.handle_nic_grant())
+
+    def _request(self, requester: int, kind: ResourceKind, amount: int,
+                 handshake) -> Allocation:
+        if requester not in self._agents:
+            raise AllocationError(f"requester node {requester} is not registered")
+        if amount <= 0:
+            raise AllocationError("requested amount must be positive")
+        self.requests_handled += 1
+        candidates = self._candidate_donors(requester, kind, amount)
+        if not candidates:
+            raise AllocationError(
+                f"no donor has {amount} of {kind.value} available for node {requester}"
+            )
+        for record in candidates:
+            if not self._path_usable(requester, record.node_id):
+                continue
+            agent = self._agents.get(record.node_id)
+            if agent is None:
+                continue
+            if not handshake(agent):
+                # Stale RRT record: refresh it and try the next donor.
+                self.handshake_retries += 1
+                self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+                continue
+            self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+            allocation_record = self.rat.add(AllocationRecord(
+                requester=requester, donor=record.node_id, kind=kind,
+                amount=amount, created_at_ns=self.now_ns,
+            ))
+            return Allocation(
+                record=allocation_record,
+                donor=record.node_id,
+                amount=amount,
+                hops=self.topology.hop_count(requester, record.node_id),
+            )
+        raise AllocationError(
+            f"every candidate donor refused the {kind.value} request from node {requester}"
+        )
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+    def release(self, allocation: Allocation) -> None:
+        """Return a previously granted allocation to its donor."""
+        record = self.rat.release(allocation.record.allocation_id)
+        agent = self._agents.get(record.donor)
+        if agent is None:
+            return
+        if record.kind is ResourceKind.MEMORY:
+            agent.handle_hot_add_back(record.amount)
+        elif record.kind is ResourceKind.ACCELERATOR:
+            agent.handle_accelerator_release()
+        elif record.kind is ResourceKind.NIC:
+            agent.handle_nic_release()
+        self.ingest_heartbeat(agent.heartbeat(self.now_ns))

@@ -1,0 +1,121 @@
+"""Donor-selection policies for the Monitor Node.
+
+The prototype's allocator "only considers distance" (Section 5.3), but
+the paper calls out that a production runtime should also weigh the
+nature of the sharing (bandwidth demand), existing traffic on the
+involved links, and load balance across donors.  This module implements
+that design space as pluggable policies so the runtime experiments can
+compare them:
+
+* :class:`DistanceFirstPolicy`   -- the prototype's policy: fewest hops,
+  ties broken by node id.
+* :class:`LoadBalancedPolicy`    -- fewest *active allocations already
+  placed on the donor*, then distance: spreads borrowed resources so no
+  single donor becomes a hot spot.
+* :class:`BandwidthAwarePolicy`  -- avoids donors whose path to the
+  requester is already carrying allocated traffic, weighting distance
+  by the number of existing allocations that share links with the
+  candidate path.
+
+Policies only *order* candidates; the Monitor Node still performs the
+stale-record handshake and retries down the ordered list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.fabric.topology import Topology
+from repro.runtime.tables import (
+    ResourceAllocationTable,
+    ResourceKind,
+    ResourceRecord,
+)
+
+
+class DonorSelectionPolicy:
+    """Orders candidate donor records for one allocation request."""
+
+    name = "abstract"
+
+    def order(self, requester: int, kind: ResourceKind,
+              candidates: List[ResourceRecord], topology: Topology,
+              rat: ResourceAllocationTable) -> List[ResourceRecord]:
+        """Return ``candidates`` sorted from most to least preferred."""
+        raise NotImplementedError
+
+
+class DistanceFirstPolicy(DonorSelectionPolicy):
+    """The prototype's allocator: nearest donor first."""
+
+    name = "distance-first"
+
+    def order(self, requester, kind, candidates, topology, rat):
+        return sorted(candidates, key=lambda record: (
+            topology.hop_count(requester, record.node_id),
+            record.node_id,
+        ))
+
+
+class LoadBalancedPolicy(DonorSelectionPolicy):
+    """Prefer donors carrying the fewest active allocations.
+
+    Distance is the tie-breaker, so nearby donors are still preferred
+    among equally loaded ones.
+    """
+
+    name = "load-balanced"
+
+    def order(self, requester, kind, candidates, topology, rat):
+        def load(record: ResourceRecord) -> int:
+            return len(rat.active_for_donor(record.node_id))
+
+        return sorted(candidates, key=lambda record: (
+            load(record),
+            topology.hop_count(requester, record.node_id),
+            record.node_id,
+        ))
+
+
+class BandwidthAwarePolicy(DonorSelectionPolicy):
+    """Penalise donors whose path shares links with existing allocations.
+
+    Each active allocation is assumed to load every link on the shortest
+    path between its requester and donor; a candidate's score is its hop
+    count plus ``contention_weight`` times the number of loaded links on
+    its own path.  This captures the paper's observation that "existing
+    traffic over involved links" should influence donor choice.
+    """
+
+    name = "bandwidth-aware"
+
+    def __init__(self, contention_weight: float = 2.0):
+        if contention_weight < 0:
+            raise ValueError("contention weight must be non-negative")
+        self.contention_weight = contention_weight
+
+    @staticmethod
+    def _path_links(topology: Topology, src: int, dst: int) -> List[Tuple[int, int]]:
+        path = topology.shortest_path(src, dst)
+        return [tuple(sorted(pair)) for pair in zip(path, path[1:])]
+
+    def _link_load(self, topology: Topology,
+                   rat: ResourceAllocationTable) -> Dict[Tuple[int, int], int]:
+        load: Dict[Tuple[int, int], int] = {}
+        for record in rat.active():
+            for link in self._path_links(topology, record.requester, record.donor):
+                load[link] = load.get(link, 0) + 1
+        return load
+
+    def order(self, requester, kind, candidates, topology, rat):
+        link_load = self._link_load(topology, rat)
+
+        def score(record: ResourceRecord) -> float:
+            hops = topology.hop_count(requester, record.node_id)
+            contended = sum(
+                link_load.get(link, 0)
+                for link in self._path_links(topology, requester, record.node_id)
+            )
+            return hops + self.contention_weight * contended
+
+        return sorted(candidates, key=lambda record: (score(record), record.node_id))

@@ -1,0 +1,161 @@
+"""Monitor-node tables: RRT, RAT and TST (Section 5.3).
+
+These are functional data structures -- the runtime layer in the paper
+is software, so no timing model is attached beyond what the Monitor
+Node itself charges for request handling.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class ResourceKind(enum.Enum):
+    """Types of shareable resources tracked by the runtime."""
+
+    MEMORY = "memory"
+    ACCELERATOR = "accelerator"
+    NIC = "nic"
+
+
+@dataclass
+class ResourceRecord:
+    """One RRT row: a resource (or pool thereof) available on a node."""
+
+    node_id: int
+    kind: ResourceKind
+    #: Bytes for memory, unit count for accelerators/NICs.
+    capacity: int
+    #: Currently unallocated amount.
+    available: int
+    #: Free-form capability description (e.g. accelerator kernel type).
+    capabilities: str = ""
+    #: Simulated time of the last heartbeat that refreshed this record.
+    last_heartbeat_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0 or self.available < 0:
+            raise ValueError("capacity and availability must be non-negative")
+        if self.available > self.capacity:
+            raise ValueError("availability cannot exceed capacity")
+
+
+class ResourceRegistrationTable:
+    """RRT: available resources in the rack, keyed by (node, kind)."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple[int, ResourceKind], ResourceRecord] = {}
+
+    def register(self, record: ResourceRecord) -> None:
+        """Insert or refresh the record for (node, kind)."""
+        self._records[(record.node_id, record.kind)] = record
+
+    def get(self, node_id: int, kind: ResourceKind) -> Optional[ResourceRecord]:
+        return self._records.get((node_id, kind))
+
+    def records_of_kind(self, kind: ResourceKind) -> List[ResourceRecord]:
+        return [record for (_, record_kind), record in self._records.items()
+                if record_kind == kind]
+
+    def total_available(self, kind: ResourceKind) -> int:
+        return sum(record.available for record in self.records_of_kind(kind))
+
+    def nodes(self) -> List[int]:
+        return sorted({node_id for node_id, _ in self._records})
+
+    def stale_nodes(self, now_ns: int, timeout_ns: int) -> List[int]:
+        """Nodes whose newest heartbeat is older than ``timeout_ns``."""
+        newest: Dict[int, int] = {}
+        for (node_id, _), record in self._records.items():
+            newest[node_id] = max(newest.get(node_id, 0), record.last_heartbeat_ns)
+        return sorted(node for node, beat in newest.items()
+                      if now_ns - beat > timeout_ns)
+
+
+_allocation_ids = itertools.count(1)
+
+
+@dataclass
+class AllocationRecord:
+    """One RAT row: an active allocation of a resource to a requester."""
+
+    requester: int
+    donor: int
+    kind: ResourceKind
+    amount: int
+    allocation_id: int = field(default_factory=lambda: next(_allocation_ids))
+    created_at_ns: int = 0
+    released: bool = False
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise ValueError("allocation amount must be positive")
+
+
+class ResourceAllocationTable:
+    """RAT: every allocation the Monitor Node has granted."""
+
+    def __init__(self) -> None:
+        self._records: List[AllocationRecord] = []
+
+    def add(self, record: AllocationRecord) -> AllocationRecord:
+        self._records.append(record)
+        return record
+
+    def release(self, allocation_id: int) -> AllocationRecord:
+        for record in self._records:
+            if record.allocation_id == allocation_id and not record.released:
+                record.released = True
+                return record
+        raise KeyError(f"no active allocation with id {allocation_id}")
+
+    def active(self) -> List[AllocationRecord]:
+        return [record for record in self._records if not record.released]
+
+    def active_for_requester(self, requester: int) -> List[AllocationRecord]:
+        return [record for record in self.active() if record.requester == requester]
+
+    def active_for_donor(self, donor: int) -> List[AllocationRecord]:
+        return [record for record in self.active() if record.donor == donor]
+
+    def allocated_amount(self, donor: int, kind: ResourceKind) -> int:
+        return sum(record.amount for record in self.active()
+                   if record.donor == donor and record.kind == kind)
+
+
+class LinkStatus(enum.Enum):
+    """Health of one fabric link as reported by the node agents."""
+
+    UP = "up"
+    DEGRADED = "degraded"
+    DOWN = "down"
+
+
+class TopologyStatusTable:
+    """TST: per-link status, keyed by the unordered node pair."""
+
+    def __init__(self) -> None:
+        self._status: Dict[Tuple[int, int], LinkStatus] = {}
+        self._reported_at: Dict[Tuple[int, int], int] = {}
+
+    @staticmethod
+    def _key(node_a: int, node_b: int) -> Tuple[int, int]:
+        return (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+
+    def report(self, node_a: int, node_b: int, status: LinkStatus,
+               now_ns: int = 0) -> None:
+        key = self._key(node_a, node_b)
+        self._status[key] = status
+        self._reported_at[key] = now_ns
+
+    def status(self, node_a: int, node_b: int) -> LinkStatus:
+        return self._status.get(self._key(node_a, node_b), LinkStatus.DOWN)
+
+    def is_usable(self, node_a: int, node_b: int) -> bool:
+        return self.status(node_a, node_b) in (LinkStatus.UP, LinkStatus.DEGRADED)
+
+    def links(self) -> List[Tuple[int, int, LinkStatus]]:
+        return [(a, b, status) for (a, b), status in sorted(self._status.items())]

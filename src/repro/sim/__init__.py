@@ -1,0 +1,42 @@
+"""Discrete-event simulation engine used by every Venice substrate.
+
+The engine is deliberately small and dependency-free.  It provides:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop and clock.
+* generator-based *processes* (:mod:`repro.sim.process`) that model
+  concurrent hardware/software activities and communicate through
+  events, queues and resources.
+* :mod:`repro.sim.resources` -- blocking queues, counting resources and
+  credit pools used to model buffers, ports and flow control.
+* :mod:`repro.sim.stats` -- counters, time-weighted gauges and
+  histograms for collecting measurements during a run.
+* :mod:`repro.sim.rng` -- deterministic random-number helpers so that
+  every experiment is reproducible from a seed.
+
+Time is kept as an integer number of **nanoseconds**.
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.process import Process, Delay, WaitEvent, SimEvent, AllOf, AnyOf
+from repro.sim.resources import Store, Resource, CreditPool
+from repro.sim.stats import Counter, Gauge, Histogram, StatsRegistry
+from repro.sim.rng import DeterministicRNG
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "Delay",
+    "WaitEvent",
+    "SimEvent",
+    "AllOf",
+    "AnyOf",
+    "Store",
+    "Resource",
+    "CreditPool",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "StatsRegistry",
+    "DeterministicRNG",
+]

@@ -1,0 +1,147 @@
+"""Core discrete-event simulation loop.
+
+The :class:`Simulator` owns the virtual clock and a priority queue of
+scheduled callbacks.  Higher-level abstractions (processes, resources)
+are built on top of :meth:`Simulator.schedule`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an invalid state."""
+
+
+class _ScheduledCall:
+    """A single callback scheduled at a point in simulated time."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "_ScheduledCall") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+class Simulator:
+    """Event loop with an integer nanosecond clock.
+
+    The simulator is single-threaded and deterministic: callbacks
+    scheduled for the same timestamp run in scheduling order.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._queue: List[_ScheduledCall] = []
+        self._running = False
+        self._event_count = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._event_count
+
+    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> _ScheduledCall:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + int(delay), callback, *args)
+
+    def schedule_at(self, time: int, callback: Callable[..., None], *args: Any) -> _ScheduledCall:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        call = _ScheduledCall(int(time), self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, call)
+        return call
+
+    def cancel(self, call: _ScheduledCall) -> None:
+        """Cancel a previously scheduled callback (lazy removal)."""
+        call.cancelled = True
+
+    def peek(self) -> Optional[int]:
+        """Return the timestamp of the next pending event, or ``None``."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback.
+
+        Returns ``True`` if a callback was executed, ``False`` if the
+        queue was empty.
+        """
+        while self._queue:
+            call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            self._now = call.time
+            self._event_count += 1
+            call.callback(*call.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the event queue empties or a limit is reached.
+
+        Parameters
+        ----------
+        until:
+            Absolute time (ns) at which to stop.  Events scheduled at
+            exactly ``until`` are still executed.
+        max_events:
+            Safety valve limiting the number of callbacks executed in
+            this call; exceeding it raises :class:`SimulationError`.
+
+        Returns
+        -------
+        int
+            The simulated time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible livelock"
+                    )
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> int:
+        """Run the simulation to completion with a livelock guard."""
+        return self.run(max_events=max_events)

@@ -1,0 +1,223 @@
+"""Generator-based processes for the simulation engine.
+
+A *process* is a Python generator that yields commands telling the
+scheduler what to wait for:
+
+* ``Delay(ns)``                 -- resume after ``ns`` nanoseconds.
+* ``SimEvent`` / ``WaitEvent``  -- resume when the event is triggered;
+  the value passed to :meth:`SimEvent.succeed` becomes the result of
+  the ``yield`` expression.
+* another ``Process``           -- resume when that process finishes;
+  its return value becomes the result of the ``yield``.
+* ``AllOf([...])`` / ``AnyOf([...])`` -- composite waits.
+
+Processes may also ``return`` a value which is delivered to any process
+waiting on them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class Delay:
+    """Command: suspend the issuing process for ``duration`` ns."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: int):
+        if duration < 0:
+            raise ValueError(f"negative delay: {duration}")
+        self.duration = int(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Delay({self.duration})"
+
+
+class SimEvent:
+    """One-shot event that processes can wait on.
+
+    The event succeeds at most once; its value is delivered to every
+    waiter.  Waiting on an already-succeeded event resumes immediately.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_succeeded", "_waiters")
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._succeeded = False
+        self._waiters: List[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._succeeded
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Trigger the event, waking all waiters at the current time."""
+        if self._succeeded:
+            raise SimulationError(f"event {self.name!r} already succeeded")
+        self._succeeded = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.schedule(0, waiter, value)
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        """Register a callback invoked (via the scheduler) on success."""
+        if self._succeeded:
+            self.sim.schedule(0, callback, self._value)
+        else:
+            self._waiters.append(callback)
+
+
+# Waiting on an event is expressed by yielding the event itself; the
+# WaitEvent alias exists for readability at call sites.
+WaitEvent = SimEvent
+
+
+class AllOf:
+    """Composite command: resume when every child event has triggered."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Any]):
+        self.events = list(events)
+
+
+class AnyOf:
+    """Composite command: resume when any child event has triggered."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Any]):
+        self.events = list(events)
+
+
+class Process:
+    """A running generator coroutine inside the simulation.
+
+    Processes are created through :func:`spawn` (or directly) and are
+    themselves waitable: yielding a process suspends the caller until
+    the process finishes and delivers its return value.
+    """
+
+    __slots__ = ("sim", "generator", "name", "finished", "result", "_completion")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                "Process requires a generator (did you forget to call the function?)"
+            )
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.finished = False
+        self.result: Any = None
+        self._completion = SimEvent(sim, name=f"{self.name}.done")
+        sim.schedule(0, self._resume, None)
+
+    @property
+    def completion(self) -> SimEvent:
+        """Event triggered with the process return value when it ends."""
+        return self._completion
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            command = self.generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.finished:
+            return
+        try:
+            command = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def _finish(self, value: Any) -> None:
+        self.finished = True
+        self.result = value
+        self._completion.succeed(value)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Delay):
+            self.sim.schedule(command.duration, self._resume, None)
+        elif isinstance(command, SimEvent):
+            command.add_waiter(self._resume)
+        elif isinstance(command, Process):
+            command.completion.add_waiter(self._resume)
+        elif isinstance(command, AllOf):
+            self._wait_all(command.events)
+        elif isinstance(command, AnyOf):
+            self._wait_any(command.events)
+        elif command is None:
+            # Bare ``yield`` -- resume on the next scheduler pass.
+            self.sim.schedule(0, self._resume, None)
+        else:
+            self._throw(
+                SimulationError(f"process {self.name!r} yielded unsupported {command!r}")
+            )
+
+    @staticmethod
+    def _as_event(item: Any) -> SimEvent:
+        if isinstance(item, Process):
+            return item.completion
+        if isinstance(item, SimEvent):
+            return item
+        raise SimulationError(f"cannot wait on {item!r}")
+
+    def _wait_all(self, items: List[Any]) -> None:
+        events = [self._as_event(item) for item in items]
+        if not events:
+            self.sim.schedule(0, self._resume, [])
+            return
+        remaining = {"count": len(events)}
+        results: List[Any] = [None] * len(events)
+
+        def make_cb(index: int) -> Callable[[Any], None]:
+            def callback(value: Any) -> None:
+                results[index] = value
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    self._resume(results)
+
+            return callback
+
+        for index, event in enumerate(events):
+            event.add_waiter(make_cb(index))
+
+    def _wait_any(self, items: List[Any]) -> None:
+        events = [self._as_event(item) for item in items]
+        if not events:
+            self.sim.schedule(0, self._resume, None)
+            return
+        done = {"fired": False}
+
+        def callback(value: Any) -> None:
+            if done["fired"]:
+                return
+            done["fired"] = True
+            self._resume(value)
+
+        for event in events:
+            event.add_waiter(callback)
+
+
+def spawn(sim: Simulator, generator: Generator, name: str = "") -> Process:
+    """Convenience wrapper to start a new process."""
+    return Process(sim, generator, name=name)

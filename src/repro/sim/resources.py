@@ -1,0 +1,199 @@
+"""Blocking resources built on top of the process/event model.
+
+* :class:`Store`      -- bounded FIFO queue of items (models buffers,
+  mailbox queues, packet queues).
+* :class:`Resource`   -- counting resource with ``acquire``/``release``
+  (models ports, DMA engines, accelerator slots).
+* :class:`CreditPool` -- integer credit counter with blocking ``take``
+  (models credit-based flow control at the datalink and QPair layers).
+
+Each blocking operation returns a :class:`SimEvent`; a process waits by
+yielding it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import SimEvent
+
+
+class Store:
+    """Bounded FIFO of items with blocking put/get semantics."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "store"):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> SimEvent:
+        """Enqueue ``item``; the returned event triggers once accepted."""
+        event = SimEvent(self.sim, name=f"{self.name}.put")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(None)
+        elif not self.is_full:
+            self._items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.is_full:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> SimEvent:
+        """Dequeue an item; the returned event triggers with the item."""
+        event = SimEvent(self.sim, name=f"{self.name}.get")
+        if self._items:
+            item = self._items.popleft()
+            event.succeed(item)
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._admit_waiting_putter()
+        return True, item
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and not self.is_full:
+            event, item = self._putters.popleft()
+            self._items.append(item)
+            event.succeed(None)
+
+
+class Resource:
+    """Counting resource (capacity N) with FIFO acquisition order."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[SimEvent] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> SimEvent:
+        """Request a unit; the returned event fires once granted."""
+        event = SimEvent(self.sim, name=f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a unit, granting it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release on idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the unit directly to the next waiter.
+            self._waiters.popleft().succeed(None)
+        else:
+            self._in_use -= 1
+
+
+class CreditPool:
+    """Integer credit counter used for credit-based flow control.
+
+    Senders ``take(n)`` credits (blocking until available) before
+    transmitting; receivers ``replenish(n)`` when buffers drain.
+    """
+
+    def __init__(self, sim: Simulator, initial: int, maximum: Optional[int] = None,
+                 name: str = "credits"):
+        if initial < 0:
+            raise ValueError(f"initial credits must be non-negative, got {initial}")
+        if maximum is not None and maximum < initial:
+            raise ValueError("maximum credits below initial credits")
+        self.sim = sim
+        self.name = name
+        self.maximum = maximum if maximum is not None else initial
+        self._credits = initial
+        self._waiters: Deque[tuple] = deque()  # (event, amount)
+        self.total_taken = 0
+        self.total_replenished = 0
+        self.stall_count = 0
+
+    @property
+    def available(self) -> int:
+        return self._credits
+
+    def take(self, amount: int = 1) -> SimEvent:
+        """Consume ``amount`` credits; blocks (via event) until granted."""
+        if amount <= 0:
+            raise ValueError(f"credit amount must be positive, got {amount}")
+        if amount > self.maximum:
+            raise SimulationError(
+                f"requesting {amount} credits exceeds pool maximum {self.maximum}"
+            )
+        event = SimEvent(self.sim, name=f"{self.name}.take")
+        if not self._waiters and self._credits >= amount:
+            self._credits -= amount
+            self.total_taken += amount
+            event.succeed(None)
+        else:
+            self.stall_count += 1
+            self._waiters.append((event, amount))
+        return event
+
+    def try_take(self, amount: int = 1) -> bool:
+        """Non-blocking take; returns ``False`` if short on credits."""
+        if self._waiters or self._credits < amount:
+            return False
+        self._credits -= amount
+        self.total_taken += amount
+        return True
+
+    def replenish(self, amount: int = 1) -> None:
+        """Return ``amount`` credits and grant any now-satisfiable waiters."""
+        if amount <= 0:
+            raise ValueError(f"replenish amount must be positive, got {amount}")
+        self._credits = min(self.maximum, self._credits + amount)
+        self.total_replenished += amount
+        while self._waiters and self._credits >= self._waiters[0][1]:
+            event, want = self._waiters.popleft()
+            self._credits -= want
+            self.total_taken += want
+            event.succeed(None)
+
+    def pending_waiters(self) -> int:
+        return len(self._waiters)

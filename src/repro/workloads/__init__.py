@@ -1,0 +1,59 @@
+"""Workload generators.
+
+Each workload reproduces the *access pattern* of one of the paper's
+applications (Table 1) against the simulated memory hierarchy / fabric,
+scaled down so experiments complete in seconds:
+
+* :mod:`repro.workloads.kvstore` -- BerkeleyDB-style key/value store:
+  random record accesses, 80/20 read/write OLTP mix, dependent queries.
+* :mod:`repro.workloads.pagerank` -- PageRank: massively parallel,
+  latency-tolerant vertex/edge traversal.
+* :mod:`repro.workloads.connected_components` -- Spark CC: contiguous
+  edge-list scans (bulk-transfer friendly).
+* :mod:`repro.workloads.grep` -- Hadoop Grep: streaming scan.
+* :mod:`repro.workloads.graph500` -- Graph500 BFS over an R-MAT graph.
+* :mod:`repro.workloads.rediscache` -- Redis cache in front of a MySQL
+  backing store (the Figure 13 mini data-center service).
+* :mod:`repro.workloads.fft_offload` -- SPLASH2-FFT offload to (remote)
+  accelerators.
+* :mod:`repro.workloads.iperf` -- iPerf-style fixed-size packet streams.
+* :mod:`repro.workloads.rmat` -- R-MAT synthetic graph generator.
+"""
+
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.kvstore import KeyValueWorkload, KeyValueConfig
+from repro.workloads.pagerank import PageRankWorkload, PageRankConfig
+from repro.workloads.connected_components import (
+    ConnectedComponentsWorkload,
+    ConnectedComponentsConfig,
+)
+from repro.workloads.grep import GrepWorkload, GrepConfig
+from repro.workloads.graph500 import Graph500Workload, Graph500Config
+from repro.workloads.rediscache import RedisCacheWorkload, RedisCacheConfig, MysqlBackingStore
+from repro.workloads.fft_offload import FftOffloadWorkload, FftOffloadConfig
+from repro.workloads.iperf import IperfWorkload, IperfConfig
+from repro.workloads.rmat import RmatGenerator, RmatConfig
+
+__all__ = [
+    "Workload",
+    "WorkloadResult",
+    "KeyValueWorkload",
+    "KeyValueConfig",
+    "PageRankWorkload",
+    "PageRankConfig",
+    "ConnectedComponentsWorkload",
+    "ConnectedComponentsConfig",
+    "GrepWorkload",
+    "GrepConfig",
+    "Graph500Workload",
+    "Graph500Config",
+    "RedisCacheWorkload",
+    "RedisCacheConfig",
+    "MysqlBackingStore",
+    "FftOffloadWorkload",
+    "FftOffloadConfig",
+    "IperfWorkload",
+    "IperfConfig",
+    "RmatGenerator",
+    "RmatConfig",
+]

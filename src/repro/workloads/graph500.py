@@ -1,0 +1,109 @@
+"""Graph500 BFS workload over an R-MAT graph.
+
+The paper runs Graph500 at R-MAT scale 22, edge factor 14.  The
+reproduction builds a (scaled-down) R-MAT graph in CSR form and walks
+it breadth-first: the traversal mixes a sequential scan of the frontier
+with random accesses into the adjacency arrays and the visited map --
+an irregular pattern that sits between the fully random key/value
+workload and the fully streaming Grep scan, which is where Figure 15
+places it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List
+
+from repro.cpu.core import TimingCore
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.rmat import RmatConfig, RmatGenerator
+
+
+@dataclass
+class Graph500Config:
+    """Parameters of the BFS workload."""
+
+    scale: int = 11
+    edge_factor: int = 14
+    #: Number of BFS roots traversed (Graph500 uses 64; scaled down).
+    num_roots: int = 2
+    vertex_entry_bytes: int = 8
+    edge_entry_bytes: int = 8
+    instructions_per_edge: int = 8
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.edge_factor <= 0 or self.num_roots <= 0:
+            raise ValueError("scale, edge factor and root count must be positive")
+
+    @property
+    def rmat(self) -> RmatConfig:
+        return RmatConfig(scale=self.scale, edge_factor=self.edge_factor, seed=self.seed)
+
+    @property
+    def num_vertices(self) -> int:
+        return 1 << self.scale
+
+    @property
+    def num_edges(self) -> int:
+        return self.num_vertices * self.edge_factor
+
+    @property
+    def dataset_bytes(self) -> int:
+        """CSR offsets + edge targets + visited/parent arrays."""
+        return (self.num_vertices * self.vertex_entry_bytes * 2
+                + self.num_edges * self.edge_entry_bytes)
+
+
+class Graph500Workload(Workload):
+    """Breadth-first search over a CSR-encoded R-MAT graph."""
+
+    name = "graph500"
+
+    def __init__(self, config: Graph500Config = None):
+        self.config = config or Graph500Config()
+        self._offsets, self._targets = self._build_csr()
+
+    def _build_csr(self):
+        generator = RmatGenerator(self.config.rmat)
+        edges = generator.generate()
+        adjacency: List[List[int]] = [[] for _ in range(self.config.num_vertices)]
+        for src, dst in edges:
+            adjacency[src].append(dst)
+        offsets = [0]
+        targets: List[int] = []
+        for neighbors in adjacency:
+            targets.extend(neighbors)
+            offsets.append(len(targets))
+        return offsets, targets
+
+    def run(self, core: TimingCore) -> WorkloadResult:
+        config = self.config
+        offsets_base = 0
+        targets_base = config.num_vertices * config.vertex_entry_bytes
+        visited_base = targets_base + len(self._targets) * config.edge_entry_bytes
+        edges_traversed = 0
+        vertices_visited = 0
+        for root_index in range(config.num_roots):
+            root = (root_index * 7919) % config.num_vertices
+            visited = bytearray(config.num_vertices)
+            frontier = deque([root])
+            visited[root] = 1
+            while frontier:
+                vertex = frontier.popleft()
+                vertices_visited += 1
+                core.read(offsets_base + vertex * config.vertex_entry_bytes)
+                start, end = self._offsets[vertex], self._offsets[vertex + 1]
+                for edge_index in range(start, end):
+                    neighbor = self._targets[edge_index]
+                    core.compute(config.instructions_per_edge)
+                    core.read(targets_base + edge_index * config.edge_entry_bytes)
+                    core.read(visited_base + neighbor * config.vertex_entry_bytes)
+                    edges_traversed += 1
+                    if not visited[neighbor]:
+                        visited[neighbor] = 1
+                        core.write(visited_base + neighbor * config.vertex_entry_bytes)
+                        frontier.append(neighbor)
+        return self._finish(core, edges_traversed=edges_traversed,
+                            vertices_visited=vertices_visited)

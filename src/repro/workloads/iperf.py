@@ -1,0 +1,68 @@
+"""iPerf-style packet-stream workload.
+
+iPerf measures sustainable network throughput for a stream of
+fixed-size packets.  The paper uses it twice:
+
+* Figure 16b -- throughput of a bonded interface combining the local
+  NIC with one to three remote NICs, for tiny (4 B) and "normal"
+  (256 B) payloads.
+* Figure 17 -- message-passing over the three Venice transport
+  channels, where QPair wins.
+
+The workload measures throughput against any *interface-like* object
+exposing ``throughput_gbps(payload_bytes)`` -- a single NIC, a bonded
+interface, or a channel adapter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+@dataclass
+class IperfConfig:
+    """Parameters of the packet-stream measurement."""
+
+    #: Payload sizes to measure, bytes (paper: 4 B to 256 B).
+    payload_sizes: Sequence[int] = (4, 8, 16, 32, 64, 128, 256)
+    #: Nominal measurement interval (documentation only -- throughput is
+    #: computed in closed form from the per-packet costs).
+    duration_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.payload_sizes:
+            raise ValueError("at least one payload size is required")
+        if any(size <= 0 for size in self.payload_sizes):
+            raise ValueError("payload sizes must be positive")
+
+
+class IperfWorkload:
+    """Throughput sweep over payload sizes for one interface."""
+
+    name = "iperf"
+
+    def __init__(self, config: IperfConfig = None):
+        self.config = config or IperfConfig()
+
+    def measure(self, interface) -> Dict[int, float]:
+        """Goodput (Gbps) per payload size for ``interface``."""
+        return {
+            size: interface.throughput_gbps(size)
+            for size in self.config.payload_sizes
+        }
+
+    def measure_utilization(self, interface) -> Dict[int, float]:
+        """Line-rate utilisation per payload size for ``interface``."""
+        return {
+            size: interface.line_rate_utilization(size)
+            for size in self.config.payload_sizes
+        }
+
+    def speedup_over(self, interface, baseline) -> Dict[int, float]:
+        """Throughput of ``interface`` normalised to ``baseline``."""
+        result = {}
+        for size in self.config.payload_sizes:
+            base = baseline.throughput_gbps(size)
+            result[size] = interface.throughput_gbps(size) / base if base > 0 else 0.0
+        return result

@@ -1,0 +1,131 @@
+"""Redis-cache-in-front-of-MySQL service (the Figure 13 mini data center).
+
+One Venice node runs a Redis-style in-memory key/value cache whose
+capacity is the memory available to it (local plus borrowed remote
+memory).  Query misses fall through to a MySQL server modelled as a
+disk-bound backing store on a separate x86 node.  The Figure 14
+experiment sweeps the cache memory from 70 MB to 350 MB and shows that
+(a) execution time is dominated by the miss penalty, so more memory --
+local or remote -- buys a ~15x improvement, and (b) the local-vs-remote
+difference only becomes visible (~7 %) once the miss rate is low.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.cpu.core import TimingCore
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.base import Workload, WorkloadResult, touch_record
+
+
+@dataclass
+class MysqlBackingStore:
+    """Disk-bound MySQL query service reached over the data-center network.
+
+    The paper's MySQL server holds 400 M x 64 B entries on an x86 node;
+    a cache miss costs a network round trip plus a mostly-random disk
+    access and query execution.
+    """
+
+    #: Average latency of one missed query served by MySQL, ns.
+    miss_latency_ns: int = 18_000_000
+    #: Network round-trip between the application server and MySQL, ns.
+    network_rtt_ns: int = 250_000
+
+    def query_latency_ns(self) -> int:
+        return self.miss_latency_ns + self.network_rtt_ns
+
+
+@dataclass
+class RedisCacheConfig:
+    """Parameters of the Redis cache service."""
+
+    #: Memory available to the cache (local + borrowed), bytes.
+    cache_capacity_bytes: int = 70 * 1024 * 1024
+    #: Total number of distinct keys the clients query.
+    key_space: int = 1_500_000
+    #: Value size per record.
+    record_bytes: int = 256
+    #: Number of client queries to serve.
+    num_queries: int = 10_000
+    #: Instructions per query (hash lookup, protocol handling).
+    instructions_per_query: int = 800
+    #: Fraction of queries that are writes (cache refreshes).
+    write_fraction: float = 0.0
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity_bytes <= 0 or self.key_space <= 0 or self.num_queries <= 0:
+            raise ValueError("capacity, key space and query count must be positive")
+        if self.record_bytes <= 0:
+            raise ValueError("record size must be positive")
+
+    @property
+    def cache_capacity_records(self) -> int:
+        return max(1, self.cache_capacity_bytes // self.record_bytes)
+
+    @property
+    def working_set_bytes(self) -> int:
+        return self.key_space * self.record_bytes
+
+
+class RedisCacheWorkload(Workload):
+    """LRU key/value cache backed by a MySQL store."""
+
+    name = "redis-cache"
+
+    def __init__(self, config: RedisCacheConfig = None,
+                 backing_store: MysqlBackingStore = None,
+                 warm: bool = True):
+        self.config = config or RedisCacheConfig()
+        self.backing_store = backing_store or MysqlBackingStore()
+        self.warm = warm
+        self.rng = DeterministicRNG(self.config.seed)
+
+    def run(self, core: TimingCore) -> WorkloadResult:
+        config = self.config
+        line_bytes = core.hierarchy.line_bytes
+        capacity = config.cache_capacity_records
+        # key -> slot index in the cache memory region, LRU ordered.
+        cache: OrderedDict = OrderedDict()
+        free_slots = list(range(capacity))
+        if self.warm:
+            # Pre-populate with an arbitrary prefix of the key space, as
+            # the paper measures after "proper initialization and warmup".
+            for key in range(min(capacity, config.key_space)):
+                cache[key] = free_slots.pop()
+        hits = 0
+        misses = 0
+        for _ in range(config.num_queries):
+            key = self.rng.uniform_int(0, config.key_space - 1)
+            is_write = self.rng.bernoulli(config.write_fraction)
+            core.compute(config.instructions_per_query)
+            if key in cache:
+                hits += 1
+                cache.move_to_end(key)
+                slot = cache[key]
+                address = slot * config.record_bytes
+                touch_record(core, address, config.record_bytes, line_bytes,
+                             is_write=is_write)
+            else:
+                misses += 1
+                core.stall(self.backing_store.query_latency_ns())
+                if free_slots:
+                    slot = free_slots.pop()
+                else:
+                    _, slot = cache.popitem(last=False)
+                cache[key] = slot
+                address = slot * config.record_bytes
+                # Install the fetched record into cache memory.
+                touch_record(core, address, config.record_bytes, line_bytes,
+                             is_write=True)
+        total = hits + misses
+        return self._finish(
+            core,
+            queries=total,
+            hits=hits,
+            misses=misses,
+            miss_rate=misses / total if total else 0.0,
+        )

@@ -1,0 +1,125 @@
+"""Unit tests for accelerator devices and the mailbox protocol."""
+
+import pytest
+
+from repro.accel.device import (
+    Accelerator,
+    AcceleratorConfig,
+    CryptoAccelerator,
+    FftAccelerator,
+)
+from repro.accel.mailbox import Mailbox, MailboxError, MailboxState, MailboxTask
+
+
+# ----------------------------------------------------------------------
+# Devices
+# ----------------------------------------------------------------------
+def test_accelerator_task_time_components():
+    accel = Accelerator(AcceleratorConfig(launch_overhead_ns=1000,
+                                          io_bandwidth_gbps=8.0,
+                                          elements_per_us=1000.0))
+    total = accel.task_time_ns(input_bytes=1024, output_bytes=1024, elements=2000)
+    assert total >= 1000 + accel.io_time_ns(1024) * 2 + accel.compute_time_ns(2000)
+    assert accel.stats.counter("tasks").value == 1
+
+
+def test_fft_compute_scales_superlinearly():
+    fft = FftAccelerator()
+    small = fft.compute_time_ns(1024)
+    large = fft.compute_time_ns(2048)
+    # n log n: doubling n more than doubles the work.
+    assert large > 2 * small
+    assert fft.compute_time_ns(1) == 0
+
+
+def test_crypto_compute_scales_linearly():
+    crypto = CryptoAccelerator()
+    assert crypto.compute_time_ns(2000) == pytest.approx(
+        2 * crypto.compute_time_ns(1000), rel=0.01)
+
+
+def test_io_time_scales_with_bytes():
+    accel = Accelerator()
+    assert accel.io_time_ns(2048) == pytest.approx(2 * accel.io_time_ns(1024), rel=0.01)
+    assert accel.io_time_ns(0) == 0
+
+
+def test_invalid_inputs_rejected():
+    accel = Accelerator()
+    with pytest.raises(ValueError):
+        accel.io_time_ns(-1)
+    with pytest.raises(ValueError):
+        accel.compute_time_ns(-1)
+    with pytest.raises(ValueError):
+        AcceleratorConfig(elements_per_us=0)
+
+
+# ----------------------------------------------------------------------
+# Mailbox
+# ----------------------------------------------------------------------
+def make_task(input_bytes=1024, output_bytes=1024):
+    return MailboxTask(kernel="fft", input_bytes=input_bytes,
+                       output_bytes=output_bytes, elements=64)
+
+
+def test_mailbox_full_lifecycle():
+    mailbox = Mailbox(owner_node=1)
+    task = make_task()
+    assert mailbox.is_idle
+    mailbox.post(task, now_ns=100)
+    assert mailbox.state is MailboxState.REQUEST_POSTED
+    launched = mailbox.launch()
+    assert launched is task
+    assert mailbox.state is MailboxState.RUNNING
+    mailbox.complete(now_ns=500)
+    assert mailbox.state is MailboxState.COMPLETE
+    collected = mailbox.collect()
+    assert collected.completed_at_ns == 500
+    assert mailbox.is_idle
+    assert mailbox.tasks_completed == 1
+
+
+def test_mailbox_rejects_post_while_running():
+    mailbox = Mailbox(owner_node=0)
+    mailbox.post(make_task())
+    mailbox.launch()
+    with pytest.raises(MailboxError):
+        mailbox.post(make_task())
+
+
+def test_mailbox_post_after_complete_allowed():
+    mailbox = Mailbox(owner_node=0)
+    mailbox.post(make_task())
+    mailbox.launch()
+    mailbox.complete()
+    # A new request may overwrite the completed slot before collection.
+    mailbox.post(make_task())
+    assert mailbox.state is MailboxState.REQUEST_POSTED
+
+
+def test_mailbox_rejects_oversized_input():
+    mailbox = Mailbox(owner_node=0, data_buffer_bytes=512)
+    with pytest.raises(MailboxError):
+        mailbox.post(make_task(input_bytes=1024))
+
+
+def test_mailbox_protocol_violations():
+    mailbox = Mailbox(owner_node=0)
+    with pytest.raises(MailboxError):
+        mailbox.launch()
+    with pytest.raises(MailboxError):
+        mailbox.complete()
+    with pytest.raises(MailboxError):
+        mailbox.collect()
+
+
+def test_task_ids_unique_and_sizes_validated():
+    first, second = make_task(), make_task()
+    assert first.task_id != second.task_id
+    with pytest.raises(ValueError):
+        MailboxTask(kernel="fft", input_bytes=-1, output_bytes=0, elements=0)
+
+
+def test_mailbox_buffer_size_validation():
+    with pytest.raises(ValueError):
+        Mailbox(owner_node=0, request_buffer_bytes=0)

@@ -1,0 +1,124 @@
+"""Unit tests for the RAMT and transport-layer TLB (Figure 8)."""
+
+import pytest
+
+from repro.core.address import (
+    AddressMappingError,
+    RamtEntry,
+    RemoteAddressMappingTable,
+    TransportTlb,
+)
+
+MB = 1024 * 1024
+
+
+def test_entry_contains_and_translates():
+    entry = RamtEntry(local_base=0x1_0000_0000, size=64 * MB,
+                      remote_node=3, remote_base=0xC000_0000)
+    assert entry.contains(0x1_0000_0000)
+    assert entry.contains(0x1_0000_0000 + 64 * MB - 1)
+    assert not entry.contains(0x1_0000_0000 + 64 * MB)
+    node, address = entry.translate(0x1_0000_0000 + 0x123)
+    assert node == 3
+    assert address == 0xC000_0000 + 0x123
+
+
+def test_entry_translate_outside_window_raises():
+    entry = RamtEntry(local_base=0, size=4096, remote_node=1, remote_base=0)
+    with pytest.raises(AddressMappingError):
+        entry.translate(8192)
+
+
+def test_entry_validation():
+    with pytest.raises(ValueError):
+        RamtEntry(local_base=0, size=0, remote_node=1, remote_base=0)
+    with pytest.raises(ValueError):
+        RamtEntry(local_base=-1, size=10, remote_node=1, remote_base=0)
+
+
+def test_ramt_install_lookup_invalidate():
+    ramt = RemoteAddressMappingTable(capacity=4)
+    entry = ramt.install(local_base=4 * MB, size=MB, remote_node=1, remote_base=0)
+    assert len(ramt) == 1
+    assert ramt.lookup(4 * MB + 10) is entry
+    assert ramt.lookup(100) is None
+    ramt.invalidate(entry)
+    assert len(ramt) == 0
+    assert ramt.lookup(4 * MB + 10) is None
+
+
+def test_ramt_rejects_overlapping_windows():
+    ramt = RemoteAddressMappingTable()
+    ramt.install(local_base=0, size=MB, remote_node=1, remote_base=0)
+    with pytest.raises(AddressMappingError):
+        ramt.install(local_base=MB // 2, size=MB, remote_node=2, remote_base=0)
+
+
+def test_ramt_capacity_limit():
+    ramt = RemoteAddressMappingTable(capacity=2)
+    ramt.install(local_base=0, size=MB, remote_node=1, remote_base=0)
+    ramt.install(local_base=2 * MB, size=MB, remote_node=1, remote_base=0)
+    with pytest.raises(AddressMappingError):
+        ramt.install(local_base=4 * MB, size=MB, remote_node=1, remote_base=0)
+    # Invalidation frees a slot.
+    ramt.invalidate(ramt.entries[0])
+    ramt.install(local_base=4 * MB, size=MB, remote_node=1, remote_base=0)
+
+
+def test_ramt_translate_unmapped_raises():
+    ramt = RemoteAddressMappingTable()
+    with pytest.raises(AddressMappingError):
+        ramt.translate(123)
+
+
+def test_ramt_invalidate_foreign_entry_raises():
+    ramt = RemoteAddressMappingTable()
+    foreign = RamtEntry(local_base=0, size=10, remote_node=1, remote_base=0)
+    with pytest.raises(AddressMappingError):
+        ramt.invalidate(foreign)
+
+
+def test_tlb_hit_after_fill():
+    tlb = TransportTlb(capacity=4)
+    entry = RamtEntry(local_base=0, size=16 * MB, remote_node=1, remote_base=0)
+    assert tlb.lookup(100) is None
+    tlb.fill(100, entry)
+    assert tlb.lookup(100) is entry
+    assert tlb.hits == 1 and tlb.misses == 1
+    assert tlb.hit_rate == pytest.approx(0.5)
+
+
+def test_tlb_same_page_shares_translation():
+    tlb = TransportTlb(capacity=4, page_bits=12)
+    entry = RamtEntry(local_base=0, size=16 * MB, remote_node=1, remote_base=0)
+    tlb.fill(0, entry)
+    assert tlb.lookup(4095) is entry     # same 4 KB page
+    assert tlb.lookup(4096) is None      # next page misses
+
+
+def test_tlb_lru_eviction():
+    tlb = TransportTlb(capacity=2, page_bits=12)
+    entry = RamtEntry(local_base=0, size=64 * MB, remote_node=1, remote_base=0)
+    tlb.fill(0 * 4096, entry)
+    tlb.fill(1 * 4096, entry)
+    tlb.lookup(0)                        # refresh page 0
+    tlb.fill(2 * 4096, entry)            # evicts page 1
+    assert tlb.lookup(0) is entry
+    assert tlb.lookup(1 * 4096) is None
+
+
+def test_tlb_flush_and_invalid_entries():
+    tlb = TransportTlb(capacity=4)
+    entry = RamtEntry(local_base=0, size=MB, remote_node=1, remote_base=0)
+    tlb.fill(0, entry)
+    entry.valid = False
+    assert tlb.lookup(0) is None         # invalid entries never hit
+    tlb.flush()
+    assert tlb.lookup(0) is None
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        RemoteAddressMappingTable(capacity=0)
+    with pytest.raises(ValueError):
+        TransportTlb(capacity=0)

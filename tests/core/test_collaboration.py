@@ -1,0 +1,101 @@
+"""Unit tests for inter-channel collaboration (Section 5.1.3)."""
+
+import pytest
+
+from repro.core.channels.collaboration import (
+    AccessDemand,
+    AdaptiveChannelSelector,
+    ChannelChoice,
+    CreditFlowControlModel,
+)
+from repro.core.channels.crma import CrmaChannel
+from repro.core.channels.qpair import QPairChannel
+
+
+# ----------------------------------------------------------------------
+# Adaptive channel selection
+# ----------------------------------------------------------------------
+def test_random_fine_grain_access_selects_crma():
+    selector = AdaptiveChannelSelector()
+    demand = AccessDemand(granularity_bytes=64, random_access=True)
+    assert selector.select(demand) is ChannelChoice.CRMA
+
+
+def test_small_granularity_selects_crma_even_if_not_random():
+    selector = AdaptiveChannelSelector()
+    assert selector.select(AccessDemand(granularity_bytes=32)) is ChannelChoice.CRMA
+
+
+def test_bulk_contiguous_transfer_selects_rdma():
+    selector = AdaptiveChannelSelector()
+    demand = AccessDemand(granularity_bytes=1 << 20, random_access=False)
+    assert selector.select(demand) is ChannelChoice.RDMA
+    by_volume = AccessDemand(granularity_bytes=4096, total_bytes=16 << 20)
+    assert selector.select(by_volume) is ChannelChoice.RDMA
+
+
+def test_message_passing_selects_qpair():
+    selector = AdaptiveChannelSelector()
+    demand = AccessDemand(granularity_bytes=256, message_passing=True)
+    assert selector.select(demand) is ChannelChoice.QPAIR
+
+
+def test_mid_sized_contiguous_selects_qpair():
+    selector = AdaptiveChannelSelector()
+    demand = AccessDemand(granularity_bytes=8192)
+    assert selector.select(demand) is ChannelChoice.QPAIR
+
+
+def test_selector_and_demand_validation():
+    with pytest.raises(ValueError):
+        AdaptiveChannelSelector(fine_grain_threshold_bytes=0)
+    with pytest.raises(ValueError):
+        AdaptiveChannelSelector(fine_grain_threshold_bytes=1024, bulk_threshold_bytes=512)
+    with pytest.raises(ValueError):
+        AccessDemand(granularity_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# Credit flow control over CRMA (Figure 9 / Figure 18)
+# ----------------------------------------------------------------------
+def build_model(credits=4):
+    return CreditFlowControlModel(qpair=QPairChannel(), crma=CrmaChannel(),
+                                  credits=credits)
+
+
+def test_crma_credit_return_is_faster_than_qpair():
+    model = build_model()
+    assert model.crma_credit_return_latency_ns() < model.qpair_credit_return_latency_ns()
+
+
+def test_crma_credits_improve_bandwidth_for_all_sizes():
+    model = build_model()
+    for size in (4, 8, 16, 32, 64, 128):
+        assert model.improvement_percent(size) > 0
+        assert model.crma_credit_bandwidth_gbps(size) > \
+            model.qpair_credit_bandwidth_gbps(size)
+
+
+def test_improvement_is_larger_for_smaller_packets():
+    model = build_model()
+    assert model.improvement_percent(4) >= model.improvement_percent(128)
+
+
+def test_improvement_in_papers_reported_range():
+    """The paper reports 28-51% effective-bandwidth improvement."""
+    model = build_model()
+    improvements = list(model.sweep((4, 8, 16, 32, 64, 128)).values())
+    assert all(20.0 <= value <= 60.0 for value in improvements)
+
+
+def test_sweep_returns_all_sizes():
+    model = build_model()
+    sweep = model.sweep((4, 64))
+    assert set(sweep) == {4, 64}
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        build_model(credits=0)
+    with pytest.raises(ValueError):
+        CreditFlowControlModel(QPairChannel(), CrmaChannel(), credit_generation_ns=-1)

@@ -1,0 +1,74 @@
+"""Unit tests for the Table 1 configuration (the paper's platform table)."""
+
+import pytest
+
+from repro.core.config import (
+    ChannelPlacement,
+    CrmaConfig,
+    FabricConfig,
+    QPairConfig,
+    RdmaConfig,
+    VeniceConfig,
+)
+from repro.fabric.packet import HEADER_BYTES
+
+
+def test_table1_defaults_match_paper():
+    """Table 1: 8 nodes, 3D mesh, 667 MHz Cortex-A9-class cores, 1 GB
+    memory, 5 Gbps x 6 lanes, ~1.4 us point-to-point latency."""
+    config = VeniceConfig.table1()
+    assert config.num_nodes == 8
+    assert config.topology == "mesh3d"
+    assert config.mesh_dims == (2, 2, 2)
+    assert config.node.cpu.clock_mhz == pytest.approx(667.0)
+    assert config.node.dram.capacity_bytes == 1024 ** 3
+    assert config.fabric.link.bandwidth_gbps == pytest.approx(5.0)
+    assert config.fabric.lanes_per_node == 6
+    p2p = config.fabric.link.packet_latency_ns(64 + HEADER_BYTES) \
+        + config.fabric.switch.forwarding_latency_ns
+    assert 1200 <= p2p <= 1600
+
+
+def test_point_to_point_latency_property():
+    fabric = FabricConfig()
+    assert fabric.point_to_point_latency_ns > 1000
+
+
+def test_pair_configuration():
+    config = VeniceConfig.pair()
+    assert config.num_nodes == 2
+    assert config.topology == "direct_pair"
+
+
+def test_mesh_dims_must_match_node_count():
+    with pytest.raises(ValueError):
+        VeniceConfig(num_nodes=6, mesh_dims=(2, 2, 2))
+
+
+def test_direct_pair_requires_two_nodes():
+    with pytest.raises(ValueError):
+        VeniceConfig(num_nodes=3, topology="direct_pair")
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(ValueError):
+        VeniceConfig(topology="ring")
+
+
+def test_channel_placements():
+    assert CrmaConfig().placement is ChannelPlacement.ON_CHIP
+    assert RdmaConfig().placement is ChannelPlacement.ON_CHIP
+    assert QPairConfig().placement is ChannelPlacement.ON_CHIP
+
+
+def test_qpair_supports_hundreds_of_queue_pairs():
+    """Section 4.2.1: a typical QPair implementation supports hundreds of
+    queue pairs -- which is what drives its SRAM cost over CRMA."""
+    assert QPairConfig().num_queue_pairs >= 100
+
+
+def test_fabric_validation():
+    with pytest.raises(ValueError):
+        FabricConfig(lanes_per_node=0)
+    with pytest.raises(ValueError):
+        VeniceConfig(num_nodes=0)

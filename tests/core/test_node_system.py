@@ -1,0 +1,132 @@
+"""Unit tests for node composition and whole-system wiring."""
+
+import pytest
+
+from repro.core.config import ChannelPlacement, NodeConfig, VeniceConfig
+from repro.core.node import VeniceNode
+from repro.core.system import VeniceSystem
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+# ----------------------------------------------------------------------
+# VeniceNode
+# ----------------------------------------------------------------------
+def test_node_default_resources():
+    node = VeniceNode(0)
+    assert node.local_memory_bytes == 1 * GB
+    assert len(node.accelerators) == 1
+    assert len(node.nics) == 1
+    assert node.agent.node_id == 0
+
+
+def test_node_builds_working_core():
+    node = VeniceNode(3)
+    core = node.build_core()
+    latency = core.read(0x1000)
+    assert latency > 0
+
+
+def test_node_resource_accessors():
+    node = VeniceNode(1, NodeConfig(num_accelerators=2, num_nics=3))
+    assert node.primary_accelerator() is node.accelerators[0]
+    assert node.primary_nic() is node.nics[0]
+    assert len(node.mailboxes) == 2
+    empty = VeniceNode(2, NodeConfig(num_accelerators=0, num_nics=0))
+    with pytest.raises(ValueError):
+        empty.primary_accelerator()
+    with pytest.raises(ValueError):
+        empty.primary_nic()
+
+
+# ----------------------------------------------------------------------
+# VeniceSystem
+# ----------------------------------------------------------------------
+def test_build_table1_system(mesh_config):
+    system = VeniceSystem.build(mesh_config)
+    assert system.node_ids == list(range(8))
+    assert system.topology.diameter() == 3
+    assert system.monitor.registered_nodes == list(range(8))
+
+
+def test_build_pair_and_star_systems():
+    pair = VeniceSystem.build(VeniceConfig.pair())
+    assert pair.node_ids == [0, 1]
+    star = VeniceSystem.build(VeniceConfig(num_nodes=4, topology="star"))
+    assert len(star.node_ids) == 4
+    assert star.topology.hop_count(0, 1) == 2
+
+
+def test_path_between_reflects_topology_distance(mesh_config):
+    system = VeniceSystem.build(mesh_config)
+    near = system.path_between(0, 1)
+    far = system.path_between(0, 7)
+    assert near.hops == 1
+    assert far.hops == 3
+    assert far.one_way_latency_ns(64) > near.one_way_latency_ns(64)
+    with pytest.raises(ValueError):
+        system.path_between(0, 0)
+
+
+def test_channels_are_built_between_nodes(mesh_config):
+    system = VeniceSystem.build(mesh_config)
+    crma = system.crma_channel(0, 1)
+    rdma = system.rdma_channel(0, 1)
+    qpair = system.qpair_channel(0, 1, placement=ChannelPlacement.OFF_CHIP)
+    assert crma.read_latency_ns(32) > 0
+    assert rdma.transfer_latency_ns(4096) > 0
+    assert qpair.message_latency_ns(64) > 0
+    routed = system.crma_channel(0, 1, through_router=True)
+    assert routed.read_latency_ns(32) > crma.read_latency_ns(32)
+
+
+def test_request_and_release_remote_memory(mesh_config):
+    system = VeniceSystem.build(mesh_config)
+    allocation, grant = system.request_remote_memory(requester=0, size_bytes=256 * MB)
+    assert allocation.donor == grant.donor_node != 0
+    assert system.node(0).borrowed_memory_bytes == 256 * MB
+    assert system.node(grant.donor_node).donated_memory_bytes == 256 * MB
+    assert grant in system.grants
+
+    backend = system.remote_backend_for(grant)
+    hierarchy = system.node(0).build_hierarchy(remote_backend=backend)
+    outcome = hierarchy.access(grant.recipient_base + 4096)
+    assert outcome.served_by == "remote"
+
+    system.release_remote_memory(allocation, grant)
+    assert system.node(0).borrowed_memory_bytes == 0
+    assert system.node(grant.donor_node).donated_memory_bytes == 0
+    assert grant not in system.grants
+
+
+def test_nearest_donor_is_preferred(mesh_config):
+    system = VeniceSystem.build(mesh_config)
+    allocation, _grant = system.request_remote_memory(requester=0, size_bytes=64 * MB)
+    assert allocation.hops == 1
+
+
+def test_swap_device_between_nodes(mesh_config):
+    system = VeniceSystem.build(mesh_config)
+    device = system.swap_device_between(0, 7)
+    assert device.read_page_latency_ns(4096) > 0
+
+
+def test_unknown_node_raises(mesh_config):
+    system = VeniceSystem.build(mesh_config)
+    with pytest.raises(KeyError):
+        system.node(42)
+
+
+def test_event_fabric_wiring(mesh_config):
+    system = VeniceSystem.build(mesh_config)
+    fabric = system.build_event_fabric()
+    assert len(fabric.switches) == 8
+    # 12 undirected mesh links -> 24 directed links/datalinks.
+    assert len(fabric.links) == 24
+    assert len(fabric.datalinks) == 24
+    # Every switch can route to every other node.
+    for src, switch in fabric.switches.items():
+        for dst in system.node_ids:
+            if dst != src:
+                assert switch.routing_table.has_route(dst)

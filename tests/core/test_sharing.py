@@ -1,0 +1,173 @@
+"""Unit tests for the resource-joining mechanisms (Section 5.2)."""
+
+import pytest
+
+from repro.accel.device import FftAccelerator
+from repro.accel.mailbox import Mailbox
+from repro.core.channels.crma import CrmaChannel
+from repro.core.channels.qpair import QPairChannel
+from repro.core.channels.rdma import RdmaChannel
+from repro.core.sharing.remote_accelerator import (
+    AcceleratorPool,
+    LocalAcceleratorTarget,
+    RemoteAcceleratorTarget,
+)
+from repro.core.sharing.remote_memory import (
+    MemorySharingError,
+    share_memory,
+    stop_sharing,
+    swap_device_for_grant,
+)
+from repro.core.sharing.remote_nic import RemoteNicSharing, VirtualNic
+from repro.mem.dram import Dram
+from repro.mem.memory_map import PhysicalMemoryMap, RegionKind
+from repro.nic.nic import Nic
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+# ----------------------------------------------------------------------
+# Remote memory sharing (Figure 2 / Figure 10 flow)
+# ----------------------------------------------------------------------
+def test_share_memory_full_flow():
+    donor = PhysicalMemoryMap(1 * GB, node_id=1)
+    recipient = PhysicalMemoryMap(1 * GB, node_id=0)
+    channel = CrmaChannel()
+    grant = share_memory(donor, recipient, 256 * MB, channel)
+
+    assert grant.active
+    assert donor.donated_capacity() == 256 * MB
+    assert recipient.remote_capacity() == 256 * MB
+    assert grant.recipient_region.kind is RegionKind.REMOTE_MAPPED
+    # The RAMT window translates recipient addresses to donor addresses.
+    node, address = channel.translate(grant.recipient_base + 100)
+    assert node == 1
+    assert address == grant.donor_base + 100
+
+
+def test_stop_sharing_restores_both_sides():
+    donor = PhysicalMemoryMap(1 * GB, node_id=1)
+    recipient = PhysicalMemoryMap(1 * GB, node_id=0)
+    channel = CrmaChannel()
+    grant = share_memory(donor, recipient, 128 * MB, channel)
+    stop_sharing(grant, donor, recipient)
+    assert not grant.active
+    assert donor.donated_capacity() == 0
+    assert donor.local_capacity() == 1 * GB
+    assert recipient.remote_capacity() == 0
+    with pytest.raises(MemorySharingError):
+        stop_sharing(grant, donor, recipient)
+
+
+def test_share_memory_rejects_bad_requests():
+    donor = PhysicalMemoryMap(256 * MB, node_id=1)
+    recipient = PhysicalMemoryMap(256 * MB, node_id=0)
+    with pytest.raises(MemorySharingError):
+        share_memory(donor, recipient, 0, CrmaChannel())
+    with pytest.raises(MemorySharingError):
+        share_memory(donor, recipient, 1 * GB, CrmaChannel())
+    with pytest.raises(MemorySharingError):
+        share_memory(donor, donor, 64 * MB, CrmaChannel())
+
+
+def test_swap_device_for_grant_uses_rdma():
+    device = swap_device_for_grant(RdmaChannel())
+    assert device.read_page_latency_ns(4096) > 0
+    assert device.supports_write_overlap()
+
+
+# ----------------------------------------------------------------------
+# Remote accelerators (Figure 11)
+# ----------------------------------------------------------------------
+def local_target():
+    return LocalAcceleratorTarget(FftAccelerator(), dram=Dram())
+
+
+def remote_target(exclusive=True):
+    return RemoteAcceleratorTarget(
+        accelerator=FftAccelerator(node_id=1),
+        mailbox=Mailbox(owner_node=1),
+        rdma=RdmaChannel(),
+        crma=CrmaChannel(),
+        qpair=QPairChannel(),
+        exclusive_mapping=exclusive,
+    )
+
+
+def test_remote_accelerator_task_pays_transfer_overhead():
+    task_args = dict(input_bytes=256 * 1024, output_bytes=256 * 1024, elements=16_384)
+    local_latency = local_target().task_latency_ns(**task_args)
+    remote_latency = remote_target().task_latency_ns(**task_args)
+    assert remote_latency > local_latency
+    # But the overhead stays well below the compute itself for this size
+    # (otherwise Figure 16a could not scale near-linearly).
+    assert remote_latency < 2 * local_latency
+
+
+def test_remote_accelerator_mailbox_cycles_cleanly():
+    target = remote_target()
+    for _ in range(3):
+        target.task_latency_ns(input_bytes=4096, output_bytes=4096, elements=256)
+    assert target.mailbox.tasks_completed == 3
+    assert target.mailbox.is_idle
+
+
+def test_exclusive_mapping_faster_than_kernel_thread_path():
+    exclusive = remote_target(exclusive=True)
+    mediated = remote_target(exclusive=False)
+    task_args = dict(input_bytes=4096, output_bytes=4096, elements=256)
+    assert exclusive.task_latency_ns(**task_args) < mediated.task_latency_ns(**task_args)
+
+
+def test_remote_target_requires_a_control_channel():
+    target = RemoteAcceleratorTarget(
+        accelerator=FftAccelerator(), mailbox=Mailbox(owner_node=1),
+        rdma=RdmaChannel(), crma=None, qpair=None)
+    with pytest.raises(ValueError):
+        target.task_latency_ns(input_bytes=4096, output_bytes=4096, elements=64)
+
+
+def test_accelerator_pool_counts_targets():
+    pool = AcceleratorPool([local_target(), remote_target(), remote_target()])
+    assert len(pool) == 3
+    assert pool.local_count == 1
+    assert pool.remote_count == 2
+    assert pool[0].is_remote is False
+    with pytest.raises(ValueError):
+        AcceleratorPool([])
+
+
+# ----------------------------------------------------------------------
+# Remote NICs (Figure 12)
+# ----------------------------------------------------------------------
+def test_virtual_nic_slower_than_real_nic():
+    vnic = VirtualNic(real_nic=Nic(), qpair=QPairChannel())
+    real = Nic()
+    for payload in (4, 64, 256):
+        assert vnic.throughput_gbps(payload) < real.throughput_gbps(payload)
+        assert 0 < vnic.line_rate_utilization(payload) <= 1.0
+
+
+def test_virtual_nic_small_packets_hurt_most():
+    vnic = VirtualNic(real_nic=Nic(), qpair=QPairChannel())
+    assert vnic.line_rate_utilization(4) < vnic.line_rate_utilization(256)
+
+
+def test_remote_nic_sharing_bond_grows_with_members():
+    sharing = RemoteNicSharing(local_nic=Nic())
+    sharing.attach_remote_nic(Nic(), qpair=QPairChannel())
+    sharing.attach_remote_nic(Nic(), qpair=QPairChannel())
+    one = sharing.bonded_interface(num_remote=1).throughput_gbps(256)
+    two = sharing.bonded_interface(num_remote=2).throughput_gbps(256)
+    assert two > one
+    assert sharing.bonded_interface().member_count == 3
+
+
+def test_remote_nic_detach():
+    sharing = RemoteNicSharing(local_nic=Nic())
+    vnic = sharing.attach_remote_nic(Nic(), qpair=QPairChannel())
+    sharing.detach_remote_nic(vnic)
+    assert sharing.bonded_interface().member_count == 1
+    with pytest.raises(ValueError):
+        sharing.bonded_interface(num_remote=5)

@@ -1,0 +1,150 @@
+"""Unit tests for the in-order timing core."""
+
+import pytest
+
+from repro.cpu.core import CpuConfig, TimingCore
+from repro.cpu.hierarchy import MemoryHierarchy, RemoteMemoryBackend
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.memory_map import PhysicalMemoryMap
+
+MB = 1024 * 1024
+
+
+class SlowRemote(RemoteMemoryBackend):
+    def __init__(self, latency=5000):
+        self.latency = latency
+
+    def remote_read_latency_ns(self, size_bytes):
+        return self.latency
+
+    def remote_write_latency_ns(self, size_bytes):
+        return self.latency
+
+
+def local_core(max_outstanding=4):
+    hierarchy = MemoryHierarchy(PhysicalMemoryMap(64 * MB),
+                                cache=Cache(CacheConfig(size_bytes=4096,
+                                                        line_bytes=32,
+                                                        associativity=2)),
+                                enable_prefetch=False)
+    return TimingCore(hierarchy, CpuConfig(max_outstanding=max_outstanding))
+
+
+def remote_core(max_outstanding=4, latency=5000):
+    memory_map = PhysicalMemoryMap(4096)
+    memory_map.hot_plug_remote(64 * MB, donor_node=1, donor_base=0)
+    hierarchy = MemoryHierarchy(memory_map,
+                                cache=Cache(CacheConfig(size_bytes=4096,
+                                                        line_bytes=32,
+                                                        associativity=2)),
+                                remote_backend=SlowRemote(latency),
+                                enable_prefetch=False)
+    return TimingCore(hierarchy, CpuConfig(max_outstanding=max_outstanding))
+
+
+def test_cycle_time_from_clock():
+    config = CpuConfig(clock_mhz=667.0)
+    assert config.cycle_ns == pytest.approx(1.499, abs=0.01)
+    assert config.cycles_to_ns(1000) == pytest.approx(1499.25, abs=1)
+
+
+def test_compute_advances_clock():
+    core = local_core()
+    core.compute(667)
+    assert core.now_ns == pytest.approx(1000, abs=2)
+
+
+def test_blocking_read_adds_memory_latency():
+    core = local_core()
+    latency = core.read(0x2000)
+    assert latency > 0
+    assert core.now_ns == latency
+
+
+def test_stall_accumulates_separately():
+    core = local_core()
+    core.stall(500)
+    result = core.result()
+    assert result.stall_time_ns == 500
+    assert result.total_time_ns == 500
+
+
+def test_result_counts_accesses_and_hits():
+    core = local_core()
+    core.read(0)
+    core.read(0)
+    core.write(0)
+    result = core.result()
+    assert result.accesses == 3
+    assert result.cache_hits == 2
+
+
+def test_async_reads_overlap_remote_latency():
+    sync_core = remote_core(latency=10_000)
+    async_core = remote_core(max_outstanding=8, latency=10_000)
+    stride = 4096  # distinct lines and pages, all remote
+    for index in range(8):
+        sync_core.read(1 * MB + index * stride)
+    for index in range(8):
+        async_core.read_async(1 * MB + index * stride)
+    async_core.drain()
+    assert async_core.now_ns < sync_core.now_ns
+
+
+def test_async_window_limits_overlap():
+    narrow = remote_core(max_outstanding=1, latency=10_000)
+    wide = remote_core(max_outstanding=8, latency=10_000)
+    for index in range(8):
+        narrow.read_async(1 * MB + index * 4096)
+    narrow.drain()
+    for index in range(8):
+        wide.read_async(1 * MB + index * 4096)
+    wide.drain()
+    assert wide.now_ns < narrow.now_ns
+
+
+def test_drain_waits_for_outstanding_ops():
+    core = remote_core(max_outstanding=8, latency=7000)
+    core.read_async(1 * MB)
+    before = core.now_ns
+    core.drain()
+    assert core.now_ns >= before + 7000 - 1
+
+
+def test_result_drains_automatically():
+    core = remote_core(max_outstanding=8, latency=7000)
+    core.read_async(1 * MB)
+    result = core.result()
+    assert result.total_time_ns >= 7000 - 1
+    assert result.remote_accesses == 1
+
+
+def test_reset_clears_clock_but_keeps_hierarchy():
+    core = local_core()
+    core.read(0)
+    core.reset()
+    assert core.now_ns == 0
+    # The cache still holds the line, so this is now a hit.
+    core.read(0)
+    assert core.result().cache_hits >= 1
+
+
+def test_memory_fraction_metric():
+    core = local_core()
+    core.compute(10000)
+    core.read(0)
+    result = core.result()
+    assert 0.0 < result.memory_fraction < 1.0
+    assert result.total_time_s == pytest.approx(result.total_time_ns / 1e9)
+
+
+def test_invalid_arguments_rejected():
+    core = local_core()
+    with pytest.raises(ValueError):
+        core.compute(-1)
+    with pytest.raises(ValueError):
+        core.stall(-1)
+    with pytest.raises(ValueError):
+        CpuConfig(clock_mhz=0)
+    with pytest.raises(ValueError):
+        CpuConfig(max_outstanding=0)

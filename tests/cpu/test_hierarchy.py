@@ -1,0 +1,146 @@
+"""Unit tests for the memory hierarchy (cache -> DRAM | remote | swap)."""
+
+import pytest
+
+from repro.cpu.hierarchy import LocalOnlyBackend, MemoryHierarchy, RemoteMemoryBackend
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.dram import Dram, DramConfig
+from repro.mem.memory_map import PhysicalMemoryMap
+from repro.mem.swap import SwapConfig, SwapManager
+
+MB = 1024 * 1024
+
+
+class FixedRemoteBackend(RemoteMemoryBackend):
+    def __init__(self, read_ns=3000, write_ns=150):
+        self.read_ns = read_ns
+        self.write_ns = write_ns
+        self.reads = 0
+        self.writes = 0
+
+    def remote_read_latency_ns(self, size_bytes):
+        self.reads += 1
+        return self.read_ns
+
+    def remote_write_latency_ns(self, size_bytes):
+        self.writes += 1
+        return self.write_ns
+
+
+def small_cache():
+    return Cache(CacheConfig(size_bytes=4096, line_bytes=32, associativity=2))
+
+
+def local_hierarchy(capacity=64 * MB, prefetch=False):
+    return MemoryHierarchy(PhysicalMemoryMap(capacity), cache=small_cache(),
+                           dram=Dram(DramConfig()), enable_prefetch=prefetch)
+
+
+def test_local_miss_served_by_dram():
+    hierarchy = local_hierarchy()
+    outcome = hierarchy.access(0x1000)
+    assert not outcome.cache_hit
+    assert outcome.served_by == "dram"
+    assert outcome.latency_ns > 0
+
+
+def test_second_access_hits_in_cache():
+    hierarchy = local_hierarchy()
+    hierarchy.access(0x1000)
+    outcome = hierarchy.access(0x1000)
+    assert outcome.cache_hit
+    assert outcome.served_by == "cache"
+
+
+def test_remote_region_uses_backend():
+    memory_map = PhysicalMemoryMap(1 * MB)
+    memory_map.hot_plug_remote(8 * MB, donor_node=1, donor_base=0)
+    backend = FixedRemoteBackend()
+    hierarchy = MemoryHierarchy(memory_map, cache=small_cache(),
+                                remote_backend=backend, enable_prefetch=False)
+    outcome = hierarchy.access(2 * MB)
+    assert outcome.served_by == "remote"
+    assert outcome.latency_ns >= backend.read_ns
+    assert backend.reads == 1
+
+
+def test_remote_write_uses_backend_write_path():
+    memory_map = PhysicalMemoryMap(1 * MB)
+    memory_map.hot_plug_remote(8 * MB, donor_node=1, donor_base=0)
+    backend = FixedRemoteBackend()
+    hierarchy = MemoryHierarchy(memory_map, cache=small_cache(),
+                                remote_backend=backend, enable_prefetch=False)
+    outcome = hierarchy.access(2 * MB, is_write=True)
+    assert outcome.served_by == "remote"
+    assert backend.writes == 1
+
+
+def test_remote_region_without_backend_raises():
+    memory_map = PhysicalMemoryMap(1 * MB)
+    memory_map.hot_plug_remote(8 * MB, donor_node=1, donor_base=0)
+    hierarchy = MemoryHierarchy(memory_map, cache=small_cache())
+    with pytest.raises(RuntimeError):
+        hierarchy.access(2 * MB)
+
+
+def test_local_only_backend_refuses():
+    backend = LocalOnlyBackend()
+    with pytest.raises(RuntimeError):
+        backend.remote_read_latency_ns(32)
+    with pytest.raises(RuntimeError):
+        backend.remote_write_latency_ns(32)
+
+
+def test_address_beyond_visible_memory_uses_swap():
+    swap = SwapManager(SwapConfig(resident_frames=16, fault_overhead_ns=1000))
+    hierarchy = MemoryHierarchy(PhysicalMemoryMap(1 * MB), cache=small_cache(),
+                                swap=swap, enable_prefetch=False)
+    outcome = hierarchy.access(32 * MB)
+    assert outcome.served_by == "swap"
+    assert swap.fault_count == 1
+
+
+def test_address_beyond_visible_memory_without_swap_raises():
+    hierarchy = local_hierarchy(capacity=1 * MB)
+    with pytest.raises(RuntimeError):
+        hierarchy.access(32 * MB)
+
+
+def test_dirty_writeback_to_remote_counted():
+    memory_map = PhysicalMemoryMap(1 * MB)
+    memory_map.hot_plug_remote(64 * MB, donor_node=1, donor_base=0)
+    backend = FixedRemoteBackend()
+    hierarchy = MemoryHierarchy(memory_map, cache=small_cache(),
+                                remote_backend=backend, enable_prefetch=False)
+    # Dirty a remote line, then force its eviction by filling the set.
+    set_stride = 64 * 32  # num_sets * line_bytes for the small cache
+    base = 2 * MB
+    hierarchy.access(base, is_write=True)
+    hierarchy.access(base + set_stride)
+    hierarchy.access(base + 2 * set_stride)
+    assert backend.writes >= 1
+
+
+def test_prefetcher_reduces_sequential_remote_latency():
+    def build(prefetch):
+        memory_map = PhysicalMemoryMap(4096)
+        memory_map.hot_plug_remote(64 * MB, donor_node=1, donor_base=0)
+        return MemoryHierarchy(memory_map, cache=small_cache(),
+                               remote_backend=FixedRemoteBackend(read_ns=3000),
+                               enable_prefetch=prefetch)
+
+    without = build(False)
+    with_prefetch = build(True)
+    total_without = sum(without.access(1 * MB + line * 32).latency_ns
+                        for line in range(64))
+    total_with = sum(with_prefetch.access(1 * MB + line * 32).latency_ns
+                     for line in range(64))
+    assert total_with < total_without
+
+
+def test_cache_miss_rate_property():
+    hierarchy = local_hierarchy()
+    hierarchy.access(0)
+    hierarchy.access(0)
+    assert hierarchy.cache_miss_rate == pytest.approx(0.5)
+    assert hierarchy.swap_fault_count == 0

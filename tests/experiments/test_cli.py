@@ -1,0 +1,41 @@
+"""Unit tests for the experiment command-line runner."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, available_experiments, main, run_experiment
+
+
+def test_every_paper_result_has_an_experiment_id():
+    ids = available_experiments()
+    assert {"fig03", "fig05", "fig06", "fig14", "fig15",
+            "fig16a", "fig16b", "fig17", "fig18", "hwcost"} <= set(ids)
+
+
+def test_run_experiment_returns_a_report():
+    report = run_experiment("hwcost")
+    assert report.figure_id == "sec7.3"
+    assert "hardware_cost" in report.series
+
+
+def test_run_experiment_unknown_id():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+def test_main_lists_experiments_when_no_args(capsys):
+    assert main([]) == 0
+    output = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in output
+
+
+def test_main_runs_selected_experiments(capsys):
+    assert main(["hwcost", "fig18"]) == 0
+    output = capsys.readouterr().out
+    assert "sec7.3" in output
+    assert "fig18" in output
+
+
+def test_main_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["not-a-figure"])

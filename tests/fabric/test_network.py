@@ -1,0 +1,112 @@
+"""Unit tests for the embedded switch and routing tables."""
+
+import pytest
+
+from repro.fabric.datalink import DataLink, DataLinkConfig
+from repro.fabric.network import RoutingError, RoutingTable, Switch, SwitchConfig
+from repro.fabric.packet import Packet, PacketKind
+from repro.fabric.phy import LinkConfig, PhysicalLink
+
+
+def make_packet(src, dst):
+    return Packet(src=src, dst=dst, kind=PacketKind.CRMA_READ, payload_bytes=32)
+
+
+# ----------------------------------------------------------------------
+# RoutingTable
+# ----------------------------------------------------------------------
+def test_routing_table_install_and_lookup():
+    table = RoutingTable()
+    table.install(node_id=5, out_port=2)
+    entry = table.lookup(5)
+    assert entry.out_port == 2
+    assert table.has_route(5)
+    assert len(table) == 1
+
+
+def test_routing_table_missing_route_raises():
+    table = RoutingTable()
+    with pytest.raises(RoutingError):
+        table.lookup(7)
+    assert not table.has_route(7)
+
+
+def test_routing_table_invalidate():
+    table = RoutingTable()
+    table.install(3, 1)
+    table.invalidate(3)
+    assert not table.has_route(3)
+    with pytest.raises(RoutingError):
+        table.lookup(3)
+
+
+def test_routing_table_update_overwrites():
+    table = RoutingTable()
+    table.install(3, 1)
+    table.install(3, 4)
+    assert table.lookup(3).out_port == 4
+
+
+# ----------------------------------------------------------------------
+# Switch
+# ----------------------------------------------------------------------
+def test_switch_ejects_local_packets(sim):
+    switch = Switch(sim, node_id=0)
+    delivered = []
+    switch.attach_local_sink(delivered.append)
+    switch.inject(make_packet(src=1, dst=0))
+    sim.run_until_idle()
+    assert len(delivered) == 1
+    assert switch.stats.counter("packets_ejected").value == 1
+
+
+def test_switch_forwarding_latency_charged(sim):
+    config = SwitchConfig(forwarding_latency_ns=75)
+    switch = Switch(sim, node_id=0, config=config)
+    arrival = []
+    switch.attach_local_sink(lambda packet: arrival.append(sim.now))
+    switch.inject(make_packet(src=1, dst=0))
+    sim.run_until_idle()
+    assert arrival == [75]
+
+
+def test_switch_forwards_to_attached_port(sim):
+    switch = Switch(sim, node_id=0)
+    link = PhysicalLink(sim, LinkConfig())
+    datalink = DataLink(sim, link, DataLinkConfig())
+    received = []
+    datalink.connect(received.append)
+    switch.attach_output(1, datalink)
+    switch.routing_table.install(node_id=2, out_port=1)
+    switch.inject(make_packet(src=0, dst=2))
+    sim.run_until_idle()
+    assert len(received) == 1
+    assert switch.stats.counter("port1_forwarded").value == 1
+
+
+def test_switch_unroutable_packet_raises(sim):
+    switch = Switch(sim, node_id=0)
+    switch.attach_local_sink(lambda packet: None)
+    switch.inject(make_packet(src=0, dst=9))
+    with pytest.raises(RoutingError):
+        sim.run_until_idle()
+
+
+def test_switch_rejects_local_port_attachment(sim):
+    switch = Switch(sim, node_id=0)
+    link = PhysicalLink(sim, LinkConfig())
+    datalink = DataLink(sim, link)
+    with pytest.raises(ValueError):
+        switch.attach_output(Switch.LOCAL_PORT, datalink)
+
+
+def test_switch_rejects_port_beyond_radix(sim):
+    switch = Switch(sim, node_id=0, config=SwitchConfig(radix=3))
+    link = PhysicalLink(sim, LinkConfig())
+    datalink = DataLink(sim, link)
+    with pytest.raises(ValueError):
+        switch.attach_output(5, datalink)
+
+
+def test_switch_default_radix_is_seven(sim):
+    assert Switch(sim, node_id=0).config.radix == 7

@@ -1,0 +1,79 @@
+"""Unit tests for packets and the CRC helpers."""
+
+import pytest
+
+from repro.fabric.crc import CRC16_INIT, crc16, crc_stream, packet_crc, verify
+from repro.fabric.packet import FLIT_BYTES, HEADER_BYTES, Packet, PacketKind
+
+
+def make_packet(**overrides):
+    defaults = dict(src=0, dst=1, kind=PacketKind.CRMA_READ, payload_bytes=32)
+    defaults.update(overrides)
+    return Packet(**defaults)
+
+
+def test_wire_bytes_include_header():
+    packet = make_packet(payload_bytes=32)
+    assert packet.wire_bytes == 32 + HEADER_BYTES
+
+
+def test_flit_count_rounds_up():
+    packet = make_packet(payload_bytes=1)
+    expected = -(-(1 + HEADER_BYTES) // FLIT_BYTES)
+    assert packet.flit_count == expected
+    assert make_packet(payload_bytes=0).flit_count >= 1
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        make_packet(payload_bytes=-1)
+
+
+def test_packet_ids_are_unique():
+    ids = {make_packet().packet_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_control_packet_classification():
+    assert make_packet(kind=PacketKind.CREDIT_UPDATE).is_control()
+    assert make_packet(kind=PacketKind.QPAIR_ACK).is_control()
+    assert not make_packet(kind=PacketKind.CRMA_READ).is_control()
+    assert not make_packet(kind=PacketKind.RDMA_CHUNK).is_control()
+
+
+# ----------------------------------------------------------------------
+# CRC
+# ----------------------------------------------------------------------
+def test_crc16_known_vector():
+    # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+    assert crc16(b"123456789") == 0x29B1
+
+
+def test_crc16_detects_single_bit_flip():
+    data = bytearray(b"venice fabric payload")
+    original = crc16(bytes(data))
+    data[3] ^= 0x01
+    assert crc16(bytes(data)) != original
+
+
+def test_verify_round_trip():
+    data = b"some packet bytes"
+    assert verify(data, crc16(data))
+    assert not verify(data + b"x", crc16(data))
+
+
+def test_packet_crc_depends_on_every_field():
+    base = packet_crc(1, 2, 3, 64)
+    assert packet_crc(9, 2, 3, 64) != base
+    assert packet_crc(1, 9, 3, 64) != base
+    assert packet_crc(1, 2, 9, 64) != base
+    assert packet_crc(1, 2, 3, 65) != base
+
+
+def test_crc_stream_matches_concatenation():
+    chunks = [b"abc", b"defg", b"h"]
+    assert crc_stream(chunks) == crc16(b"".join(chunks))
+
+
+def test_crc_empty_input_is_initial_value():
+    assert crc16(b"") == CRC16_INIT

@@ -1,0 +1,95 @@
+"""Unit tests for topology builders and routing helpers."""
+
+import pytest
+
+from repro.fabric.topology import (
+    Topology,
+    build_direct_pair,
+    build_mesh3d,
+    build_star,
+    dimension_order_route,
+)
+
+
+def test_direct_pair_has_one_link():
+    topo = build_direct_pair()
+    assert topo.nodes == [0, 1]
+    assert topo.links == [(0, 1)]
+    assert topo.hop_count(0, 1) == 1
+    assert topo.diameter() == 1
+
+
+def test_mesh3d_2x2x2_shape():
+    topo = build_mesh3d((2, 2, 2))
+    assert len(topo.nodes) == 8
+    # Each node in a 2x2x2 mesh has exactly 3 neighbours.
+    assert all(len(topo.neighbors(node)) == 3 for node in topo.nodes)
+    assert len(topo.links) == 12
+    assert topo.diameter() == 3
+
+
+def test_mesh3d_hop_counts_follow_manhattan_distance():
+    topo = build_mesh3d((2, 2, 2))
+    # Node 0 = (0,0,0), node 7 = (1,1,1).
+    assert topo.hop_count(0, 7) == 3
+    assert topo.hop_count(0, 1) == 1
+    assert topo.hop_count(0, 0) == 0
+
+
+def test_mesh3d_larger_dimensions():
+    topo = build_mesh3d((3, 2, 1))
+    assert len(topo.nodes) == 6
+    assert topo.is_connected()
+
+
+def test_mesh3d_rejects_zero_dimension():
+    with pytest.raises(ValueError):
+        build_mesh3d((0, 2, 2))
+
+
+def test_star_topology_routes_through_router():
+    topo = build_star(4)
+    assert len(topo.compute_nodes) == 4
+    assert len(topo.router_nodes) == 1
+    router = topo.router_nodes[0]
+    assert topo.hop_count(0, 1) == 2
+    assert topo.next_hop(0, 1) == router
+
+
+def test_star_requires_two_nodes():
+    with pytest.raises(ValueError):
+        build_star(1)
+
+
+def test_next_hop_on_mesh():
+    topo = build_mesh3d((2, 2, 2))
+    path = topo.shortest_path(0, 7)
+    assert path[0] == 0 and path[-1] == 7
+    assert topo.next_hop(0, 7) == path[1]
+    with pytest.raises(ValueError):
+        topo.next_hop(3, 3)
+
+
+def test_dimension_order_route_is_x_then_y_then_z():
+    topo = build_mesh3d((2, 2, 2))
+    route = dimension_order_route(topo, 0, 7)
+    # 0=(0,0,0) -> 1=(1,0,0) -> 3=(1,1,0) -> 7=(1,1,1)
+    assert route == [0, 1, 3, 7]
+
+
+def test_dimension_order_route_trivial_and_fallback():
+    topo = build_mesh3d((2, 2, 2))
+    assert dimension_order_route(topo, 4, 4) == [4]
+    star = build_star(3)
+    assert dimension_order_route(star, 0, 1) == star.shortest_path(0, 1)
+
+
+def test_validate_rejects_empty_and_disconnected():
+    empty = Topology(name="empty")
+    with pytest.raises(ValueError):
+        empty.validate()
+    disconnected = Topology(name="split")
+    disconnected.graph.add_edge(0, 1)
+    disconnected.graph.add_node(2)
+    with pytest.raises(ValueError):
+        disconnected.validate()

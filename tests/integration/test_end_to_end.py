@@ -1,0 +1,135 @@
+"""End-to-end scenarios across the whole library.
+
+These tests walk the complete Venice story: the runtime allocates a
+remote resource, the sharing layer sets it up, a workload runs against
+it, and the outcome is compared against sensible alternatives -- the
+same flows the example programs demonstrate.
+"""
+
+import pytest
+
+from repro.core.config import VeniceConfig
+from repro.core.sharing.remote_accelerator import (
+    AcceleratorPool,
+    LocalAcceleratorTarget,
+    RemoteAcceleratorTarget,
+)
+from repro.core.sharing.remote_nic import RemoteNicSharing
+from repro.core.system import VeniceSystem
+from repro.mem.swap import LocalDiskSwapDevice, SwapConfig, SwapManager
+from repro.runtime.tables import ResourceKind
+from repro.workloads.fft_offload import FftOffloadConfig, FftOffloadWorkload
+from repro.workloads.kvstore import KeyValueConfig, KeyValueWorkload
+
+MB = 1024 * 1024
+
+
+@pytest.fixture()
+def system():
+    return VeniceSystem.build(VeniceConfig())
+
+
+def test_remote_memory_end_to_end_beats_swapping(system):
+    """Borrowing remote memory via CRMA beats paging to local storage."""
+    dataset = 8 * MB
+    workload_config = KeyValueConfig(dataset_bytes=dataset, num_queries=1_500, seed=9)
+
+    # Venice path: ask the Monitor Node for memory, hot-plug it, run.
+    allocation, grant = system.request_remote_memory(requester=0, size_bytes=dataset)
+    recipient = system.node(0)
+    hierarchy = recipient.build_hierarchy(
+        remote_backend=system.remote_backend_for(grant))
+    # Run the workload inside the borrowed region.
+    offset = grant.recipient_base
+    venice_core = recipient.build_core(hierarchy)
+    venice_core.stall(0)
+    workload = KeyValueWorkload(workload_config)
+    # Shift accesses into the borrowed window by pre-touching nothing;
+    # the workload's addresses are interpreted relative to the node's
+    # address space, so map them through a simple offset adapter.
+    for _ in range(200):
+        venice_core.read(offset + (_ * 4096) % dataset)
+    venice_time = venice_core.result().total_time_ns / 200
+
+    # Conventional path: the same accesses against local-disk swap, run
+    # on an identical node that did not borrow memory.
+    conventional = system.node(7)
+    swap_core = conventional.build_core(conventional.build_hierarchy(
+        swap=SwapManager(SwapConfig(resident_frames=64), LocalDiskSwapDevice())))
+    top_of_memory = conventional.memory_map.local_capacity()
+    for index in range(200):
+        swap_core.read(top_of_memory + (index * 4096) % dataset)
+    swap_time = swap_core.result().total_time_ns / 200
+
+    assert venice_time < swap_time
+    assert allocation.record.kind is ResourceKind.MEMORY
+    system.release_remote_memory(allocation, grant)
+
+
+def test_memory_allocation_respects_donor_capacity(system):
+    """Repeated requests exhaust nearby donors and fall back to farther ones."""
+    hops = []
+    for _ in range(5):
+        allocation, _grant = system.request_remote_memory(
+            requester=0, size_bytes=768 * MB)
+        hops.append(allocation.hops)
+    # Node 0 has three one-hop neighbours, each able to donate 768 MB of
+    # its 1 GB once; the fourth and fifth requests must travel farther.
+    assert hops[:3] == [1, 1, 1]
+    assert max(hops) >= 2
+    assert hops == sorted(hops)
+
+
+def test_accelerator_pool_end_to_end(system):
+    """Runtime allocation of remote accelerators feeding the FFT workload."""
+    requester = system.node(0)
+    targets = [LocalAcceleratorTarget(requester.primary_accelerator(),
+                                      dram=requester.dram)]
+    allocations = []
+    for _ in range(3):
+        allocation = system.monitor.request_accelerator(requester=0)
+        allocations.append(allocation)
+        donor = system.node(allocation.donor)
+        targets.append(RemoteAcceleratorTarget(
+            accelerator=donor.primary_accelerator(),
+            mailbox=donor.mailboxes[0],
+            rdma=system.rdma_channel(0, allocation.donor),
+            crma=system.crma_channel(0, allocation.donor),
+        ))
+    pool = AcceleratorPool(targets)
+    assert pool.remote_count == 3
+
+    config = FftOffloadConfig(dataset_bytes=8 * MB, block_bytes=512 * 1024)
+    single = FftOffloadWorkload(config, targets=[targets[0]]).run(
+        requester.build_core()).total_time_ns
+    pooled = FftOffloadWorkload(config, targets=list(pool)).run(
+        requester.build_core()).total_time_ns
+    assert pooled < single
+    for allocation in allocations:
+        system.monitor.release(allocation)
+    assert system.monitor.rat.active() == []
+
+
+def test_remote_nic_end_to_end(system):
+    """Runtime allocation of remote NICs and bonded throughput."""
+    sharing = RemoteNicSharing(local_nic=system.node(0).primary_nic())
+    for _ in range(2):
+        allocation = system.monitor.request_nic(requester=0)
+        donor = system.node(allocation.donor)
+        sharing.attach_remote_nic(donor.primary_nic(),
+                                  qpair=system.qpair_channel(0, allocation.donor))
+    bond = sharing.bonded_interface()
+    local_only = system.node(0).primary_nic().throughput_gbps(256)
+    assert bond.throughput_gbps(256) > 1.5 * local_only
+
+
+def test_runtime_survives_release_and_reallocate_cycles(system):
+    for _ in range(5):
+        allocation, grant = system.request_remote_memory(requester=2,
+                                                         size_bytes=128 * MB)
+        system.release_remote_memory(allocation, grant)
+    assert system.monitor.rat.active() == []
+    assert system.node(2).borrowed_memory_bytes == 0
+    # The donors' capacity is fully restored.
+    total_donated = sum(node.donated_memory_bytes for node in system.nodes.values())
+    assert total_donated == 0

@@ -1,0 +1,88 @@
+"""Unit tests for the commodity-interconnect baselines."""
+
+import pytest
+
+from repro.interconnects.base import InterconnectProfile, round_trip_latency_ns
+from repro.interconnects.ethernet import EthernetProfile, EthernetSwapDevice
+from repro.interconnects.infiniband import InfinibandProfile, InfinibandSrpSwapDevice
+from repro.interconnects.pcie import (
+    PcieLoadStoreBackend,
+    PcieProfile,
+    PcieRdmaSwapDevice,
+)
+
+PAGE = 4096
+LINE = 32
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        InterconnectProfile(name="bad", bandwidth_gbps=0, request_software_ns=1,
+                            response_software_ns=1, adapter_ns=1, wire_ns=1)
+    with pytest.raises(ValueError):
+        InterconnectProfile(name="bad", bandwidth_gbps=1, request_software_ns=-1,
+                            response_software_ns=1, adapter_ns=1, wire_ns=1)
+
+
+def test_serialization_scales_with_payload():
+    profile = EthernetProfile()
+    assert profile.serialization_ns(PAGE) > profile.serialization_ns(64)
+
+
+def test_round_trip_includes_both_directions_and_software():
+    profile = InfinibandProfile()
+    round_trip = round_trip_latency_ns(profile, 96, PAGE)
+    assert round_trip > profile.one_way_ns(96)
+    assert round_trip > profile.response_software_ns
+
+
+def test_software_stack_dominates_ethernet_page_latency():
+    """The paper's point: commodity stacks, not wires, are the bottleneck."""
+    profile = EthernetProfile()
+    page_read = EthernetSwapDevice(profile).read_page_latency_ns(PAGE)
+    software = profile.request_software_ns + profile.response_software_ns
+    assert software > page_read * 0.4
+
+
+def test_swap_device_latency_ordering_matches_figure3():
+    """Ethernet slowest, InfiniBand SRP faster, PCIe RDMA fastest."""
+    ethernet = EthernetSwapDevice().read_page_latency_ns(PAGE)
+    infiniband = InfinibandSrpSwapDevice().read_page_latency_ns(PAGE)
+    pcie = PcieRdmaSwapDevice().read_page_latency_ns(PAGE)
+    assert ethernet > infiniband > pcie
+
+
+def test_swap_devices_write_latency_positive():
+    for device in (EthernetSwapDevice(), InfinibandSrpSwapDevice(),
+                   PcieRdmaSwapDevice()):
+        assert device.write_page_latency_ns(PAGE) > 0
+        assert not device.supports_write_overlap()
+
+
+def test_pcie_ldst_commodity_penalty_is_crippling():
+    """Figure 3: the commodity chip makes LD/ST reads ~an order of
+    magnitude worse than the fixed variant."""
+    commodity = PcieLoadStoreBackend(commodity_chip_limit=True)
+    fixed = PcieLoadStoreBackend(commodity_chip_limit=False)
+    assert commodity.remote_read_latency_ns(LINE) > 10 * fixed.remote_read_latency_ns(LINE)
+
+
+def test_pcie_ldst_writes_are_posted_and_cheap():
+    backend = PcieLoadStoreBackend(commodity_chip_limit=True)
+    assert backend.remote_write_latency_ns(LINE) < backend.remote_read_latency_ns(LINE)
+    # The write path does not pay the non-posted-read penalty.
+    fixed = PcieLoadStoreBackend(commodity_chip_limit=False)
+    assert backend.remote_write_latency_ns(LINE) == fixed.remote_write_latency_ns(LINE)
+
+
+def test_pcie_ldst_read_faster_than_page_swap_for_single_line():
+    """Fine-grained access is why LD/ST exists at all: one cacheline via
+    LD/ST (fixed chip) must be far cheaper than pulling a whole page."""
+    fixed = PcieLoadStoreBackend(commodity_chip_limit=False)
+    assert fixed.remote_read_latency_ns(LINE) < \
+        PcieRdmaSwapDevice().read_page_latency_ns(PAGE)
+
+
+def test_profiles_have_distinct_bandwidths():
+    assert EthernetProfile().bandwidth_gbps < InfinibandProfile().bandwidth_gbps
+    assert InfinibandProfile().bandwidth_gbps < PcieProfile().bandwidth_gbps

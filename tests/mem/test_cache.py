@@ -1,0 +1,114 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig
+
+
+def small_cache(size=1024, line=32, ways=2):
+    return Cache(CacheConfig(size_bytes=size, line_bytes=line, associativity=ways,
+                             hit_latency_ns=5, miss_penalty_ns=3))
+
+
+def test_first_access_misses_then_hits():
+    cache = small_cache()
+    first = cache.access(0x100)
+    second = cache.access(0x100)
+    assert not first.hit and second.hit
+    assert second.latency_ns == 5
+    assert first.latency_ns == 8
+
+
+def test_accesses_within_a_line_hit():
+    cache = small_cache(line=32)
+    cache.access(0)
+    assert cache.access(31).hit
+    assert not cache.access(32).hit
+
+
+def test_lru_eviction_order():
+    # 1 KB, 32 B lines, 2-way: 16 sets.  Three lines mapping to set 0.
+    cache = small_cache()
+    stride = 16 * 32
+    cache.access(0 * stride)
+    cache.access(1 * stride)
+    cache.access(0 * stride)          # make line 0 most recently used
+    cache.access(2 * stride)          # evicts line 1 (LRU)
+    assert cache.access(0 * stride).hit
+    assert not cache.access(1 * stride).hit
+
+
+def test_dirty_eviction_reports_writeback_address():
+    cache = small_cache()
+    stride = 16 * 32
+    cache.access(0 * stride, is_write=True)
+    cache.access(1 * stride)
+    result = cache.access(2 * stride)
+    assert result.writeback_address == 0 * stride
+    assert cache.stats.counter("writebacks").value == 1
+
+
+def test_clean_eviction_has_no_writeback():
+    cache = small_cache()
+    stride = 16 * 32
+    cache.access(0 * stride)
+    cache.access(1 * stride)
+    result = cache.access(2 * stride)
+    assert result.writeback_address is None
+
+
+def test_write_hit_marks_line_dirty():
+    cache = small_cache()
+    stride = 16 * 32
+    cache.access(0 * stride)                 # clean fill
+    cache.access(0 * stride, is_write=True)  # now dirty
+    cache.access(1 * stride)
+    result = cache.access(2 * stride)
+    assert result.writeback_address == 0
+
+
+def test_miss_rate_accounting():
+    cache = small_cache()
+    cache.access(0)
+    cache.access(0)
+    cache.access(0)
+    cache.access(4096)
+    assert cache.miss_rate == pytest.approx(0.5)
+
+
+def test_invalidate_range():
+    cache = small_cache()
+    for address in range(0, 256, 32):
+        cache.access(address)
+    invalidated = cache.invalidate_range(0, 128)
+    assert invalidated == 4
+    assert not cache.access(0).hit
+    assert cache.access(128).hit
+
+
+def test_invalidate_empty_range_is_zero():
+    cache = small_cache()
+    assert cache.invalidate_range(0, 0) == 0
+
+
+def test_occupancy_never_exceeds_capacity():
+    cache = small_cache(size=1024, line=32, ways=2)
+    for address in range(0, 64 * 1024, 32):
+        cache.access(address)
+    assert cache.occupancy <= 1024 // 32
+
+
+def test_negative_address_rejected():
+    with pytest.raises(ValueError):
+        small_cache().access(-4)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, line_bytes=32, associativity=3)
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=0)
+
+
+def test_default_config_matches_prototype_line_size():
+    assert CacheConfig().line_bytes == 32

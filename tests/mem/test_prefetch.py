@@ -1,0 +1,78 @@
+"""Unit tests for the stream prefetcher."""
+
+import pytest
+
+from repro.mem.prefetch import PrefetcherConfig, StreamPrefetcher
+
+
+def test_isolated_misses_get_no_benefit():
+    prefetcher = StreamPrefetcher()
+    assert prefetcher.observe_miss(100) == 1
+    assert prefetcher.observe_miss(500) == 1
+    assert prefetcher.observe_miss(900) == 1
+
+
+def test_sequential_stream_trains_then_covers():
+    prefetcher = StreamPrefetcher(PrefetcherConfig(training_threshold=2, degree=4))
+    factors = [prefetcher.observe_miss(line) for line in range(10)]
+    # The first few misses train the stream; later ones are covered.
+    assert factors[0] == 1
+    assert factors[-1] == 4
+    assert prefetcher.stats.counter("stream_hits").value > 0
+
+
+def test_training_threshold_respected():
+    prefetcher = StreamPrefetcher(PrefetcherConfig(training_threshold=3, degree=8))
+    factors = [prefetcher.observe_miss(line) for line in range(6)]
+    # Benefits only appear after at least `training_threshold` sequential hits.
+    assert factors[:3] == [1, 1, 1]
+    assert factors[-1] == 8
+
+
+def test_two_line_records_never_reach_coverage():
+    """Random 64-byte records (two sequential lines) should not be covered."""
+    prefetcher = StreamPrefetcher(PrefetcherConfig(num_streams=4,
+                                                   training_threshold=2, degree=4))
+    import random
+    rng = random.Random(1)
+    factors = []
+    for _ in range(200):
+        base = rng.randrange(0, 1_000_000) * 2
+        factors.append(prefetcher.observe_miss(base))
+        factors.append(prefetcher.observe_miss(base + 1))
+    covered = sum(1 for factor in factors if factor > 1)
+    assert covered / len(factors) < 0.05
+
+
+def test_stream_table_capacity_is_bounded():
+    prefetcher = StreamPrefetcher(PrefetcherConfig(num_streams=2))
+    for line in [0, 1000, 2000, 3000, 4000]:
+        prefetcher.observe_miss(line)
+    assert prefetcher.active_streams <= 2
+
+
+def test_multiple_interleaved_streams_tracked():
+    prefetcher = StreamPrefetcher(PrefetcherConfig(num_streams=4,
+                                                   training_threshold=2, degree=4))
+    factors_a, factors_b = [], []
+    for offset in range(12):
+        factors_a.append(prefetcher.observe_miss(1000 + offset))
+        factors_b.append(prefetcher.observe_miss(9000 + offset))
+    assert factors_a[-1] == 4
+    assert factors_b[-1] == 4
+
+
+def test_reset_clears_streams():
+    prefetcher = StreamPrefetcher()
+    for line in range(5):
+        prefetcher.observe_miss(line)
+    prefetcher.reset()
+    assert prefetcher.active_streams == 0
+    assert prefetcher.observe_miss(5) == 1
+
+
+def test_invalid_config_and_address():
+    with pytest.raises(ValueError):
+        PrefetcherConfig(degree=0)
+    with pytest.raises(ValueError):
+        StreamPrefetcher().observe_miss(-1)

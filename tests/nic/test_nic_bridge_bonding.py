@@ -1,0 +1,96 @@
+"""Unit tests for the NIC, bridge and bonding substrate."""
+
+import pytest
+
+from repro.nic.bonding import BondedInterface, BondingError
+from repro.nic.bridge import BridgeConfig, SoftwareBridge
+from repro.nic.nic import MIN_PAYLOAD_BYTES, Nic, NicConfig
+
+
+# ----------------------------------------------------------------------
+# NIC
+# ----------------------------------------------------------------------
+def test_wire_bytes_pad_small_frames():
+    nic = Nic()
+    assert nic.wire_bytes(4) == nic.wire_bytes(MIN_PAYLOAD_BYTES)
+    assert nic.wire_bytes(256) > nic.wire_bytes(64)
+
+
+def test_packet_time_small_packets_not_wire_limited():
+    nic = Nic(NicConfig(line_rate_gbps=10.0, per_packet_overhead_ns=600))
+    # At 10 Gbps a tiny frame serialises in well under the host overhead.
+    assert nic.packet_time_ns(4) == pytest.approx(625, abs=30)
+
+
+def test_throughput_increases_with_payload():
+    nic = Nic()
+    assert nic.throughput_gbps(256) > nic.throughput_gbps(4)
+
+
+def test_line_rate_utilization_bounds():
+    nic = Nic()
+    for payload in (4, 64, 256, 1400):
+        utilization = nic.line_rate_utilization(payload)
+        assert 0.0 < utilization <= 1.0
+
+
+def test_extra_per_packet_cost_reduces_throughput():
+    nic = Nic()
+    assert nic.throughput_gbps(256, extra_per_packet_ns=5000) < nic.throughput_gbps(256)
+
+
+def test_nic_invalid_inputs():
+    with pytest.raises(ValueError):
+        NicConfig(line_rate_gbps=0)
+    with pytest.raises(ValueError):
+        Nic().packet_time_ns(-1)
+
+
+# ----------------------------------------------------------------------
+# Bridge
+# ----------------------------------------------------------------------
+def test_bridge_cost_grows_with_payload():
+    bridge = SoftwareBridge()
+    assert bridge.forward_cost_ns(1024) > bridge.forward_cost_ns(4)
+    assert bridge.stats.counter("packets_forwarded").value == 2
+
+
+def test_bridge_invalid_config_and_payload():
+    with pytest.raises(ValueError):
+        BridgeConfig(per_packet_forward_ns=-1)
+    with pytest.raises(ValueError):
+        SoftwareBridge().forward_cost_ns(-1)
+
+
+# ----------------------------------------------------------------------
+# Bonding
+# ----------------------------------------------------------------------
+def test_bond_aggregates_member_throughput():
+    members = [Nic(), Nic(), Nic()]
+    bond = BondedInterface(members)
+    single = Nic().throughput_gbps(256)
+    assert bond.throughput_gbps(256) == pytest.approx(3 * single, rel=0.01)
+    assert bond.member_count == 3
+
+
+def test_bond_speedup_over_single_nic():
+    bond = BondedInterface([Nic(), Nic()])
+    assert bond.speedup_over(Nic(), 256) == pytest.approx(2.0, rel=0.01)
+
+
+def test_bond_utilization_of_identical_members():
+    bond = BondedInterface([Nic(), Nic()])
+    assert bond.line_rate_utilization(256) == pytest.approx(
+        Nic().line_rate_utilization(256), rel=0.01)
+
+
+def test_bond_requires_members():
+    with pytest.raises(BondingError):
+        BondedInterface([])
+
+
+def test_per_member_throughput_lists_every_member():
+    bond = BondedInterface([Nic(), Nic(NicConfig(line_rate_gbps=10.0))])
+    values = bond.per_member_throughput(256)
+    assert len(values) == 2
+    assert values[1] >= values[0]

@@ -1,0 +1,161 @@
+"""Unit tests for node agents and the Monitor Node."""
+
+import pytest
+
+from repro.fabric.topology import build_mesh3d
+from repro.runtime.agent import NodeAgent
+from repro.runtime.monitor import AllocationError, MonitorNode
+from repro.runtime.tables import LinkStatus, ResourceKind
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+# ----------------------------------------------------------------------
+# NodeAgent
+# ----------------------------------------------------------------------
+def make_agent(node_id=0, capacity=1 * GB, **kwargs):
+    return NodeAgent(node_id=node_id, memory_capacity_bytes=capacity, **kwargs)
+
+
+def test_agent_idle_memory_accounts_for_usage_and_donations():
+    agent = make_agent(capacity=1 * GB, reserve_bytes=100 * MB)
+    agent.set_local_usage(300 * MB)
+    assert agent.idle_memory_bytes() == 1 * GB - 400 * MB
+    assert agent.handle_hot_remove(200 * MB)
+    assert agent.idle_memory_bytes() == 1 * GB - 600 * MB
+    agent.handle_hot_add_back(200 * MB)
+    assert agent.donated_bytes == 0
+
+
+def test_agent_refuses_hot_remove_beyond_idle():
+    agent = make_agent(capacity=512 * MB)
+    agent.set_local_usage(500 * MB)
+    assert agent.handle_hot_remove(100 * MB) is False
+
+
+def test_agent_heartbeat_contents():
+    agent = make_agent(node_id=3, num_accelerators=2, num_nics=1, neighbors=(1, 2))
+    report = agent.heartbeat(now_ns=42)
+    assert report.node_id == 3
+    assert report.timestamp_ns == 42
+    assert report.available[ResourceKind.ACCELERATOR] == 2
+    assert report.capacity[ResourceKind.NIC] == 1
+    assert set(report.link_status) == {1, 2}
+    assert all(status is LinkStatus.UP for status in report.link_status.values())
+
+
+def test_agent_accelerator_and_nic_grants():
+    agent = make_agent(num_accelerators=1, num_nics=1)
+    assert agent.handle_accelerator_grant()
+    assert not agent.handle_accelerator_grant()
+    agent.handle_accelerator_release()
+    assert agent.handle_accelerator_grant()
+    assert agent.handle_nic_grant()
+    assert not agent.handle_nic_grant()
+    with pytest.raises(ValueError):
+        agent.handle_nic_release() or agent.handle_nic_release() or agent.handle_nic_release()
+
+
+def test_agent_validation():
+    with pytest.raises(ValueError):
+        NodeAgent(node_id=0, memory_capacity_bytes=0)
+    agent = make_agent()
+    with pytest.raises(ValueError):
+        agent.set_local_usage(-1)
+    with pytest.raises(ValueError):
+        agent.handle_hot_remove(0)
+    with pytest.raises(ValueError):
+        agent.handle_hot_add_back(1)
+
+
+# ----------------------------------------------------------------------
+# MonitorNode
+# ----------------------------------------------------------------------
+def build_monitor(num_agents=8, capacity=1 * GB):
+    topology = build_mesh3d((2, 2, 2))
+    monitor = MonitorNode(topology)
+    for node in range(num_agents):
+        monitor.register_agent(NodeAgent(node_id=node, memory_capacity_bytes=capacity,
+                                         num_accelerators=1, num_nics=1,
+                                         neighbors=tuple(topology.neighbors(node))))
+    return monitor
+
+
+def test_monitor_memory_allocation_prefers_nearest_donor():
+    monitor = build_monitor()
+    allocation = monitor.request_memory(requester=0, size_bytes=256 * MB)
+    assert allocation.hops == 1
+    assert allocation.donor in build_mesh3d((2, 2, 2)).neighbors(0)
+    assert len(monitor.rat.active()) == 1
+
+
+def test_monitor_allocation_updates_rrt_availability():
+    monitor = build_monitor()
+    before = monitor.rrt.total_available(ResourceKind.MEMORY)
+    monitor.request_memory(requester=0, size_bytes=256 * MB)
+    after = monitor.rrt.total_available(ResourceKind.MEMORY)
+    assert after == before - 256 * MB
+
+
+def test_monitor_release_returns_memory_to_donor():
+    monitor = build_monitor()
+    allocation = monitor.request_memory(requester=0, size_bytes=256 * MB)
+    monitor.release(allocation)
+    assert monitor.rat.active() == []
+    assert monitor.agent(allocation.donor).donated_bytes == 0
+
+
+def test_monitor_retries_on_stale_records():
+    """A donor whose memory disappeared since the last heartbeat refuses
+    the handshake; the MN retries with the next candidate."""
+    monitor = build_monitor()
+    # Every neighbour of node 0 suddenly has its memory consumed locally,
+    # but the MN's RRT still believes it is idle.
+    neighbors = build_mesh3d((2, 2, 2)).neighbors(0)
+    for neighbor in neighbors:
+        monitor.agent(neighbor).set_local_usage(1 * GB)
+    allocation = monitor.request_memory(requester=0, size_bytes=128 * MB)
+    assert allocation.donor not in neighbors
+    assert monitor.handshake_retries >= len(neighbors)
+
+
+def test_monitor_allocation_failure_when_nothing_available():
+    monitor = build_monitor(capacity=256 * MB)
+    for node in range(8):
+        monitor.agent(node).set_local_usage(256 * MB)
+        monitor.collect_heartbeats()
+    with pytest.raises(AllocationError):
+        monitor.request_memory(requester=0, size_bytes=64 * MB)
+
+
+def test_monitor_accelerator_and_nic_requests():
+    monitor = build_monitor()
+    accel = monitor.request_accelerator(requester=0)
+    nic = monitor.request_nic(requester=0)
+    assert accel.donor != 0
+    assert nic.donor != 0
+    monitor.release(accel)
+    monitor.release(nic)
+    assert monitor.rat.active() == []
+
+
+def test_monitor_unregistered_requester_rejected():
+    monitor = build_monitor(num_agents=4)
+    with pytest.raises(AllocationError):
+        monitor.request_memory(requester=7, size_bytes=1 * MB)
+
+
+def test_monitor_dead_node_detection():
+    monitor = build_monitor()
+    monitor.advance_time(10_000_000_000)
+    assert monitor.dead_nodes() == list(range(8))
+    monitor.collect_heartbeats()
+    assert monitor.dead_nodes() == []
+
+
+def test_monitor_requests_handled_counter():
+    monitor = build_monitor()
+    monitor.request_memory(0, 1 * MB)
+    monitor.request_accelerator(1)
+    assert monitor.requests_handled == 2

@@ -1,0 +1,157 @@
+"""Unit tests for donor-selection policies and fault handling."""
+
+import pytest
+
+from repro.fabric.topology import build_mesh3d
+from repro.runtime.agent import NodeAgent
+from repro.runtime.fault import FaultHandler, RecoveryAction
+from repro.runtime.monitor import MonitorNode
+from repro.runtime.policies import (
+    BandwidthAwarePolicy,
+    DistanceFirstPolicy,
+    LoadBalancedPolicy,
+)
+from repro.runtime.tables import LinkStatus, ResourceKind
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+def build_monitor(policy=None, capacity=4 * GB):
+    topology = build_mesh3d((2, 2, 2))
+    monitor = MonitorNode(topology, policy=policy)
+    for node in range(8):
+        monitor.register_agent(NodeAgent(
+            node_id=node, memory_capacity_bytes=capacity,
+            num_accelerators=1, num_nics=1,
+            neighbors=tuple(topology.neighbors(node))))
+    return monitor
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+def test_distance_first_is_the_default_policy():
+    monitor = build_monitor()
+    assert isinstance(monitor.policy, DistanceFirstPolicy)
+    allocation = monitor.request_memory(requester=0, size_bytes=64 * MB)
+    assert allocation.hops == 1
+
+
+def test_distance_first_always_picks_a_neighbour_until_exhausted():
+    monitor = build_monitor(policy=DistanceFirstPolicy(), capacity=1 * GB)
+    neighbors = set(build_mesh3d((2, 2, 2)).neighbors(0))
+    donors = [monitor.request_memory(0, 768 * MB).donor for _ in range(3)]
+    assert set(donors) == neighbors
+
+
+def test_load_balanced_policy_spreads_allocations():
+    monitor = build_monitor(policy=LoadBalancedPolicy())
+    donors = [monitor.request_memory(requester=0, size_bytes=64 * MB).donor
+              for _ in range(6)]
+    # Six small requests spread over (at least) the three neighbours
+    # instead of piling onto one donor.
+    counts = {donor: donors.count(donor) for donor in set(donors)}
+    assert max(counts.values()) <= 2
+    assert len(counts) >= 3
+
+
+def test_distance_first_policy_piles_onto_the_nearest_donor():
+    monitor = build_monitor(policy=DistanceFirstPolicy())
+    donors = [monitor.request_memory(requester=0, size_bytes=64 * MB).donor
+              for _ in range(4)]
+    # Plenty of capacity on the first candidate, so it takes everything.
+    assert len(set(donors)) == 1
+
+
+def test_bandwidth_aware_policy_avoids_contended_paths():
+    monitor = build_monitor(policy=BandwidthAwarePolicy(contention_weight=10.0))
+    first = monitor.request_memory(requester=0, size_bytes=64 * MB)
+    second = monitor.request_memory(requester=0, size_bytes=64 * MB)
+    # The second allocation avoids the donor (and its link) already in use.
+    assert second.donor != first.donor
+
+
+def test_bandwidth_aware_weight_validation():
+    with pytest.raises(ValueError):
+        BandwidthAwarePolicy(contention_weight=-1)
+
+
+def test_policies_only_reorder_but_never_invent_candidates():
+    topology = build_mesh3d((2, 2, 2))
+    monitor = build_monitor()
+    candidates = monitor._candidate_donors(0, ResourceKind.MEMORY, 64 * MB)
+    for policy in (DistanceFirstPolicy(), LoadBalancedPolicy(), BandwidthAwarePolicy()):
+        ordered = policy.order(0, ResourceKind.MEMORY, list(candidates),
+                               topology, monitor.rat)
+        assert sorted(record.node_id for record in ordered) == \
+            sorted(record.node_id for record in candidates)
+
+
+# ----------------------------------------------------------------------
+# Fault handling
+# ----------------------------------------------------------------------
+def test_link_down_reroutes_when_alternate_path_exists():
+    monitor = build_monitor()
+    handler = FaultHandler(monitor)
+    allocation = monitor.request_memory(requester=0, size_bytes=64 * MB)
+    donor = allocation.donor
+    plan = handler.handle_link_down(0, donor)
+    assert monitor.tst.status(0, donor) is LinkStatus.DOWN
+    affected = plan.affected()
+    assert len(affected) == 1
+    # The 3D mesh always offers an alternate route between two nodes.
+    assert affected[0].action is RecoveryAction.REROUTE
+    assert affected[0].new_path is not None
+    assert (0, donor) not in list(zip(affected[0].new_path, affected[0].new_path[1:]))
+
+
+def test_link_down_leaves_unrelated_allocations_alone():
+    monitor = build_monitor()
+    handler = FaultHandler(monitor)
+    monitor.request_memory(requester=0, size_bytes=64 * MB)
+    plan = handler.handle_link_down(6, 7)
+    assert plan.count(RecoveryAction.UNAFFECTED) == 1
+    assert plan.affected() == []
+
+
+def test_node_failure_replaces_the_failed_donor():
+    monitor = build_monitor()
+    handler = FaultHandler(monitor)
+    allocation = monitor.request_memory(requester=0, size_bytes=64 * MB)
+    plan = handler.handle_node_failure(allocation.donor)
+    assert plan.count(RecoveryAction.REALLOCATE) == 1
+    step = plan.affected()[0]
+    assert step.new_donor is not None and step.new_donor != allocation.donor
+    # The original allocation record is gone; exactly one (the
+    # replacement) remains active.
+    active = monitor.rat.active()
+    assert len(active) == 1
+    assert active[0].donor == step.new_donor
+
+
+def test_node_failure_revokes_what_the_failed_requester_held():
+    monitor = build_monitor()
+    handler = FaultHandler(monitor)
+    allocation = monitor.request_memory(requester=3, size_bytes=64 * MB)
+    plan = handler.handle_node_failure(3)
+    assert plan.count(RecoveryAction.REVOKE) == 1
+    assert monitor.rat.active() == []
+    # The donor got its memory back.
+    assert monitor.agent(allocation.donor).donated_bytes == 0
+
+
+def test_heartbeat_sweep_handles_dead_nodes():
+    monitor = build_monitor()
+    handler = FaultHandler(monitor)
+    monitor.request_memory(requester=0, size_bytes=64 * MB)
+    # Nothing is stale yet.
+    assert handler.check_heartbeats() == []
+    # Let every heartbeat expire, then refresh only nodes 0-6: node 7 is dead.
+    monitor.advance_time(10_000_000_000)
+    for node in range(7):
+        monitor.ingest_heartbeat(monitor.agent(node).heartbeat(monitor.now_ns))
+    plans = handler.check_heartbeats()
+    assert len(plans) == 1
+    assert plans[0].event == "node7-failure"
+    assert handler.events_handled == 1

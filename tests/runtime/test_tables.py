@@ -1,0 +1,113 @@
+"""Unit tests for the Monitor Node's tables (RRT, RAT, TST)."""
+
+import pytest
+
+from repro.runtime.tables import (
+    AllocationRecord,
+    LinkStatus,
+    ResourceAllocationTable,
+    ResourceKind,
+    ResourceRecord,
+    ResourceRegistrationTable,
+    TopologyStatusTable,
+)
+
+MB = 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# RRT
+# ----------------------------------------------------------------------
+def test_rrt_register_and_query():
+    rrt = ResourceRegistrationTable()
+    rrt.register(ResourceRecord(node_id=1, kind=ResourceKind.MEMORY,
+                                capacity=1024 * MB, available=512 * MB))
+    record = rrt.get(1, ResourceKind.MEMORY)
+    assert record.available == 512 * MB
+    assert rrt.get(1, ResourceKind.NIC) is None
+    assert rrt.nodes() == [1]
+
+
+def test_rrt_register_overwrites_existing_record():
+    rrt = ResourceRegistrationTable()
+    rrt.register(ResourceRecord(node_id=1, kind=ResourceKind.MEMORY,
+                                capacity=100, available=100))
+    rrt.register(ResourceRecord(node_id=1, kind=ResourceKind.MEMORY,
+                                capacity=100, available=40))
+    assert rrt.get(1, ResourceKind.MEMORY).available == 40
+    assert rrt.total_available(ResourceKind.MEMORY) == 40
+
+
+def test_rrt_records_of_kind_and_totals():
+    rrt = ResourceRegistrationTable()
+    for node in range(3):
+        rrt.register(ResourceRecord(node_id=node, kind=ResourceKind.ACCELERATOR,
+                                    capacity=2, available=1))
+    assert len(rrt.records_of_kind(ResourceKind.ACCELERATOR)) == 3
+    assert rrt.total_available(ResourceKind.ACCELERATOR) == 3
+
+
+def test_rrt_stale_node_detection():
+    rrt = ResourceRegistrationTable()
+    rrt.register(ResourceRecord(node_id=0, kind=ResourceKind.MEMORY, capacity=10,
+                                available=10, last_heartbeat_ns=1_000))
+    rrt.register(ResourceRecord(node_id=1, kind=ResourceKind.MEMORY, capacity=10,
+                                available=10, last_heartbeat_ns=900_000))
+    assert rrt.stale_nodes(now_ns=1_000_000, timeout_ns=500_000) == [0]
+
+
+def test_resource_record_validation():
+    with pytest.raises(ValueError):
+        ResourceRecord(node_id=0, kind=ResourceKind.MEMORY, capacity=10, available=20)
+    with pytest.raises(ValueError):
+        ResourceRecord(node_id=0, kind=ResourceKind.MEMORY, capacity=-1, available=0)
+
+
+# ----------------------------------------------------------------------
+# RAT
+# ----------------------------------------------------------------------
+def test_rat_add_release_and_queries():
+    rat = ResourceAllocationTable()
+    record = rat.add(AllocationRecord(requester=0, donor=1,
+                                      kind=ResourceKind.MEMORY, amount=64 * MB))
+    assert record in rat.active()
+    assert rat.active_for_requester(0) == [record]
+    assert rat.active_for_donor(1) == [record]
+    assert rat.allocated_amount(1, ResourceKind.MEMORY) == 64 * MB
+    rat.release(record.allocation_id)
+    assert rat.active() == []
+    with pytest.raises(KeyError):
+        rat.release(record.allocation_id)
+
+
+def test_rat_allocation_ids_unique():
+    first = AllocationRecord(requester=0, donor=1, kind=ResourceKind.NIC, amount=1)
+    second = AllocationRecord(requester=0, donor=1, kind=ResourceKind.NIC, amount=1)
+    assert first.allocation_id != second.allocation_id
+    with pytest.raises(ValueError):
+        AllocationRecord(requester=0, donor=1, kind=ResourceKind.NIC, amount=0)
+
+
+# ----------------------------------------------------------------------
+# TST
+# ----------------------------------------------------------------------
+def test_tst_report_and_query_is_order_independent():
+    tst = TopologyStatusTable()
+    tst.report(0, 1, LinkStatus.UP, now_ns=10)
+    assert tst.status(1, 0) is LinkStatus.UP
+    assert tst.is_usable(0, 1)
+
+
+def test_tst_unknown_links_are_down():
+    tst = TopologyStatusTable()
+    assert tst.status(5, 6) is LinkStatus.DOWN
+    assert not tst.is_usable(5, 6)
+
+
+def test_tst_degraded_links_still_usable():
+    tst = TopologyStatusTable()
+    tst.report(0, 1, LinkStatus.DEGRADED)
+    assert tst.is_usable(0, 1)
+    tst.report(0, 1, LinkStatus.DOWN)
+    assert not tst.is_usable(0, 1)
+    assert len(tst.links()) == 1

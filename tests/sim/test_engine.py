@@ -1,0 +1,114 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_initial_time_is_zero(sim):
+    assert sim.now == 0
+    assert sim.events_processed == 0
+
+
+def test_schedule_and_run_single_callback(sim):
+    fired = []
+    sim.schedule(100, fired.append, "a")
+    sim.run_until_idle()
+    assert fired == ["a"]
+    assert sim.now == 100
+
+
+def test_callbacks_run_in_time_order(sim):
+    order = []
+    sim.schedule(300, order.append, "late")
+    sim.schedule(100, order.append, "early")
+    sim.schedule(200, order.append, "middle")
+    sim.run_until_idle()
+    assert order == ["early", "middle", "late"]
+
+
+def test_same_time_callbacks_run_in_scheduling_order(sim):
+    order = []
+    for index in range(10):
+        sim.schedule(50, order.append, index)
+    sim.run_until_idle()
+    assert order == list(range(10))
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected(sim):
+    sim.schedule(100, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_run_until_stops_at_deadline(sim):
+    fired = []
+    sim.schedule(100, fired.append, "early")
+    sim.schedule(500, fired.append, "late")
+    sim.run(until=200)
+    assert fired == ["early"]
+    assert sim.now == 200
+    # The remaining event still runs on the next call.
+    sim.run_until_idle()
+    assert fired == ["early", "late"]
+
+
+def test_cancel_prevents_execution(sim):
+    fired = []
+    call = sim.schedule(100, fired.append, "cancelled")
+    sim.schedule(200, fired.append, "kept")
+    sim.cancel(call)
+    sim.run_until_idle()
+    assert fired == ["kept"]
+
+
+def test_peek_returns_next_event_time(sim):
+    assert sim.peek() is None
+    sim.schedule(42, lambda: None)
+    assert sim.peek() == 42
+
+
+def test_step_executes_exactly_one_event(sim):
+    fired = []
+    sim.schedule(10, fired.append, 1)
+    sim.schedule(20, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_callbacks_can_schedule_more_events(sim):
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 5:
+            sim.schedule(10, chain, depth + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run_until_idle()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50
+
+
+def test_max_events_guard_raises(sim):
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=1000)
+
+
+def test_events_processed_counter(sim):
+    for index in range(7):
+        sim.schedule(index, lambda: None)
+    sim.run_until_idle()
+    assert sim.events_processed == 7

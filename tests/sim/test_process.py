@@ -1,0 +1,149 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import AllOf, AnyOf, Delay, Process, SimEvent
+
+
+def run_process(sim, generator, name="test"):
+    process = Process(sim, generator, name=name)
+    sim.run_until_idle()
+    return process
+
+
+def test_delay_advances_time(sim):
+    def body():
+        yield Delay(500)
+        return sim.now
+
+    process = run_process(sim, body())
+    assert process.finished
+    assert process.result == 500
+
+
+def test_zero_delay_is_allowed(sim):
+    def body():
+        yield Delay(0)
+        return "done"
+
+    assert run_process(sim, body()).result == "done"
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-5)
+
+
+def test_event_wait_receives_value(sim):
+    event = SimEvent(sim, name="data")
+
+    def waiter():
+        value = yield event
+        return value
+
+    def trigger():
+        yield Delay(100)
+        event.succeed("payload")
+
+    waiter_process = Process(sim, waiter())
+    Process(sim, trigger())
+    sim.run_until_idle()
+    assert waiter_process.result == "payload"
+
+
+def test_waiting_on_already_triggered_event(sim):
+    event = SimEvent(sim)
+    event.succeed(7)
+
+    def body():
+        value = yield event
+        return value
+
+    assert run_process(sim, body()).result == 7
+
+
+def test_event_cannot_succeed_twice(sim):
+    event = SimEvent(sim)
+    event.succeed()
+    with pytest.raises(Exception):
+        event.succeed()
+
+
+def test_process_waits_on_other_process(sim):
+    def child():
+        yield Delay(200)
+        return 99
+
+    def parent():
+        result = yield Process(sim, child())
+        return result + 1
+
+    assert run_process(sim, parent()).result == 100
+
+
+def test_all_of_waits_for_every_event(sim):
+    def child(duration, value):
+        yield Delay(duration)
+        return value
+
+    def parent():
+        results = yield AllOf([Process(sim, child(100, "a")),
+                               Process(sim, child(300, "b"))])
+        return results, sim.now
+
+    results, finish_time = run_process(sim, parent()).result
+    assert results == ["a", "b"]
+    assert finish_time == 300
+
+
+def test_any_of_resumes_on_first_event(sim):
+    def child(duration, value):
+        yield Delay(duration)
+        return value
+
+    def parent():
+        first = yield AnyOf([Process(sim, child(500, "slow")),
+                             Process(sim, child(50, "fast"))])
+        return first, sim.now
+
+    value, finish_time = run_process(sim, parent()).result
+    assert value == "fast"
+    assert finish_time == 50
+
+
+def test_bare_yield_resumes_same_timestamp(sim):
+    def body():
+        before = sim.now
+        yield None
+        return before, sim.now
+
+    before, after = run_process(sim, body()).result
+    assert before == after == 0
+
+
+def test_yielding_garbage_raises_inside_process(sim):
+    def body():
+        try:
+            yield 12345
+        except Exception as exc:
+            return type(exc).__name__
+        return "no error"
+
+    assert run_process(sim, body()).result == "SimulationError"
+
+
+def test_process_requires_generator(sim):
+    with pytest.raises(TypeError):
+        Process(sim, lambda: None)
+
+
+def test_completion_event_carries_return_value(sim):
+    def body():
+        yield Delay(10)
+        return "finished"
+
+    process = Process(sim, body())
+    sim.run_until_idle()
+    assert process.completion.triggered
+    assert process.completion.value == "finished"

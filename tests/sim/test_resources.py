@@ -1,0 +1,214 @@
+"""Unit tests for stores, resources and credit pools."""
+
+import pytest
+
+from repro.sim.engine import SimulationError
+from repro.sim.process import Delay, Process
+from repro.sim.resources import CreditPool, Resource, Store
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_put_then_get(sim):
+    store = Store(sim)
+    store.put("item")
+    results = []
+
+    def consumer():
+        value = yield store.get()
+        results.append(value)
+
+    Process(sim, consumer())
+    sim.run_until_idle()
+    assert results == ["item"]
+
+
+def test_store_get_blocks_until_put(sim):
+    store = Store(sim)
+    results = []
+
+    def consumer():
+        value = yield store.get()
+        results.append((value, sim.now))
+
+    def producer():
+        yield Delay(250)
+        store.put("late")
+
+    Process(sim, consumer())
+    Process(sim, producer())
+    sim.run_until_idle()
+    assert results == [("late", 250)]
+
+
+def test_store_capacity_blocks_putter(sim):
+    store = Store(sim, capacity=1)
+    progress = []
+
+    def producer():
+        yield store.put("first")
+        progress.append(("first", sim.now))
+        yield store.put("second")
+        progress.append(("second", sim.now))
+
+    def consumer():
+        yield Delay(100)
+        yield store.get()
+
+    Process(sim, producer())
+    Process(sim, consumer())
+    sim.run_until_idle()
+    assert progress[0] == ("first", 0)
+    assert progress[1][1] == 100
+
+
+def test_store_fifo_order(sim):
+    store = Store(sim)
+    for index in range(5):
+        store.put(index)
+    seen = []
+
+    def consumer():
+        for _ in range(5):
+            value = yield store.get()
+            seen.append(value)
+
+    Process(sim, consumer())
+    sim.run_until_idle()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_store_try_put_and_try_get(sim):
+    store = Store(sim, capacity=1)
+    assert store.try_put("x") is True
+    assert store.try_put("y") is False
+    ok, value = store.try_get()
+    assert ok and value == "x"
+    ok, value = store.try_get()
+    assert not ok and value is None
+
+
+def test_store_invalid_capacity(sim):
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+def test_resource_acquire_release(sim):
+    resource = Resource(sim, capacity=1)
+    timeline = []
+
+    def user(name, hold):
+        yield resource.acquire()
+        timeline.append((name, "got", sim.now))
+        yield Delay(hold)
+        resource.release()
+
+    Process(sim, user("a", 100))
+    Process(sim, user("b", 50))
+    sim.run_until_idle()
+    assert timeline[0] == ("a", "got", 0)
+    assert timeline[1] == ("b", "got", 100)
+
+
+def test_resource_capacity_two_allows_overlap(sim):
+    resource = Resource(sim, capacity=2)
+    grants = []
+
+    def user(name):
+        yield resource.acquire()
+        grants.append((name, sim.now))
+        yield Delay(10)
+        resource.release()
+
+    for name in "abc":
+        Process(sim, user(name))
+    sim.run_until_idle()
+    assert grants[0][1] == 0 and grants[1][1] == 0
+    assert grants[2][1] == 10
+
+
+def test_resource_release_when_idle_raises(sim):
+    resource = Resource(sim)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_resource_available_accounting(sim):
+    resource = Resource(sim, capacity=3)
+    assert resource.available == 3
+    resource.acquire()
+    assert resource.available == 2
+    resource.release()
+    assert resource.available == 3
+
+
+# ----------------------------------------------------------------------
+# CreditPool
+# ----------------------------------------------------------------------
+def test_credit_take_and_replenish(sim):
+    pool = CreditPool(sim, initial=2)
+    assert pool.try_take() is True
+    assert pool.try_take() is True
+    assert pool.try_take() is False
+    pool.replenish()
+    assert pool.try_take() is True
+
+
+def test_credit_take_blocks_until_replenished(sim):
+    pool = CreditPool(sim, initial=0, maximum=4)
+    got = []
+
+    def taker():
+        yield pool.take(2)
+        got.append(sim.now)
+
+    def giver():
+        yield Delay(300)
+        pool.replenish(2)
+
+    Process(sim, taker())
+    Process(sim, giver())
+    sim.run_until_idle()
+    assert got == [300]
+    assert pool.stall_count == 1
+
+
+def test_credit_pool_never_exceeds_maximum(sim):
+    pool = CreditPool(sim, initial=2, maximum=3)
+    pool.replenish(10)
+    assert pool.available == 3
+
+
+def test_credit_take_more_than_maximum_raises(sim):
+    pool = CreditPool(sim, initial=2)
+    with pytest.raises(SimulationError):
+        pool.take(3)
+
+
+def test_credit_invalid_arguments(sim):
+    with pytest.raises(ValueError):
+        CreditPool(sim, initial=-1)
+    pool = CreditPool(sim, initial=1)
+    with pytest.raises(ValueError):
+        pool.take(0)
+    with pytest.raises(ValueError):
+        pool.replenish(0)
+
+
+def test_credit_waiters_served_fifo(sim):
+    pool = CreditPool(sim, initial=0, maximum=2)
+    order = []
+
+    def taker(name):
+        yield pool.take(1)
+        order.append(name)
+
+    Process(sim, taker("first"))
+    Process(sim, taker("second"))
+    pool.replenish(2)
+    sim.run_until_idle()
+    assert order == ["first", "second"]

@@ -1,0 +1,95 @@
+"""Unit tests for the deterministic RNG helpers."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRNG
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRNG(42)
+    b = DeterministicRNG(42)
+    assert [a.uniform_int(0, 100) for _ in range(20)] == \
+           [b.uniform_int(0, 100) for _ in range(20)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRNG(1)
+    b = DeterministicRNG(2)
+    assert [a.uniform_int(0, 10**9) for _ in range(5)] != \
+           [b.uniform_int(0, 10**9) for _ in range(5)]
+
+
+def test_fork_is_deterministic_and_independent():
+    parent_a = DeterministicRNG(7)
+    parent_b = DeterministicRNG(7)
+    child_a = parent_a.fork("cache")
+    child_b = parent_b.fork("cache")
+    assert child_a.uniform_int(0, 10**6) == child_b.uniform_int(0, 10**6)
+    other = parent_a.fork("link")
+    assert other.seed != child_a.seed
+
+
+def test_uniform_int_bounds():
+    rng = DeterministicRNG(3)
+    values = [rng.uniform_int(5, 10) for _ in range(200)]
+    assert min(values) >= 5
+    assert max(values) <= 10
+
+
+def test_bernoulli_extremes():
+    rng = DeterministicRNG(4)
+    assert all(rng.bernoulli(1.0) for _ in range(10))
+    assert not any(rng.bernoulli(0.0) for _ in range(10))
+
+
+def test_bernoulli_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        DeterministicRNG().bernoulli(1.5)
+
+
+def test_exponential_positive_and_mean():
+    rng = DeterministicRNG(5)
+    samples = [rng.exponential(100.0) for _ in range(2000)]
+    assert all(sample >= 0 for sample in samples)
+    assert sum(samples) / len(samples) == pytest.approx(100.0, rel=0.15)
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        DeterministicRNG().exponential(0)
+
+
+def test_zipf_index_in_range():
+    rng = DeterministicRNG(6)
+    values = [rng.zipf_index(1000, 0.99) for _ in range(500)]
+    assert all(0 <= value < 1000 for value in values)
+
+
+def test_zipf_skew_zero_is_uniform_range():
+    rng = DeterministicRNG(8)
+    values = [rng.zipf_index(100, 0.0) for _ in range(500)]
+    assert all(0 <= value < 100 for value in values)
+
+
+def test_zipf_rejects_empty_population():
+    with pytest.raises(ValueError):
+        DeterministicRNG().zipf_index(0)
+
+
+def test_sample_indices_distinct():
+    rng = DeterministicRNG(9)
+    sample = rng.sample_indices(50, 10)
+    assert len(sample) == len(set(sample)) == 10
+    with pytest.raises(ValueError):
+        rng.sample_indices(5, 10)
+
+
+def test_choice_and_shuffle_deterministic():
+    rng = DeterministicRNG(10)
+    items = list(range(10))
+    rng.shuffle(items)
+    rng2 = DeterministicRNG(10)
+    items2 = list(range(10))
+    rng2.shuffle(items2)
+    assert items == items2
+    assert rng.choice([1, 2, 3]) == rng2.choice([1, 2, 3])

@@ -1,0 +1,99 @@
+"""Unit tests for statistics collectors."""
+
+import pytest
+
+from repro.sim.stats import Counter, Gauge, Histogram, StatsRegistry
+
+
+def test_counter_increments():
+    counter = Counter("events")
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_negative_increment():
+    with pytest.raises(ValueError):
+        Counter().increment(-1)
+
+
+def test_counter_reset():
+    counter = Counter()
+    counter.increment(10)
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_gauge_time_average():
+    gauge = Gauge("occupancy", initial=0.0)
+    gauge.update(10.0, now=100)   # 0 for the first 100 ns
+    gauge.update(0.0, now=200)    # 10 for the next 100 ns
+    assert gauge.time_average(now=200) == pytest.approx(5.0)
+
+
+def test_gauge_min_max_tracking():
+    gauge = Gauge(initial=5.0)
+    gauge.update(9.0, now=10)
+    gauge.update(1.0, now=20)
+    assert gauge.maximum == 9.0
+    assert gauge.minimum == 1.0
+
+
+def test_gauge_rejects_time_travel():
+    gauge = Gauge()
+    gauge.update(1.0, now=100)
+    with pytest.raises(ValueError):
+        gauge.update(2.0, now=50)
+
+
+def test_histogram_summary_statistics():
+    hist = Histogram("latency")
+    for value in [10, 20, 30, 40, 50]:
+        hist.record(value)
+    assert hist.count == 5
+    assert hist.mean == pytest.approx(30.0)
+    assert hist.minimum == 10
+    assert hist.maximum == 50
+    assert hist.percentile(50) == 30
+    assert hist.percentile(100) == 50
+
+
+def test_histogram_empty_is_safe():
+    hist = Histogram()
+    assert hist.mean == 0.0
+    assert hist.percentile(99) == 0.0
+    assert hist.stddev == 0.0
+
+
+def test_histogram_percentile_bounds():
+    hist = Histogram()
+    hist.record(1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_histogram_stddev():
+    hist = Histogram()
+    for value in [2, 4, 4, 4, 5, 5, 7, 9]:
+        hist.record(value)
+    assert hist.stddev == pytest.approx(2.138, abs=0.01)
+
+
+def test_registry_reuses_named_instruments():
+    registry = StatsRegistry("component")
+    counter_a = registry.counter("hits")
+    counter_b = registry.counter("hits")
+    assert counter_a is counter_b
+    registry.counter("hits").increment()
+    assert registry.counter("hits").value == 1
+
+
+def test_registry_snapshot_contains_all_kinds():
+    registry = StatsRegistry("component")
+    registry.counter("hits").increment(3)
+    registry.gauge("depth").update(2.0, now=10)
+    registry.histogram("latency").record(5.0)
+    snapshot = registry.snapshot()
+    assert snapshot["hits"] == 3
+    assert snapshot["depth.current"] == 2.0
+    assert snapshot["latency.count"] == 1

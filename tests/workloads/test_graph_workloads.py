@@ -1,0 +1,123 @@
+"""Unit tests for R-MAT generation, Graph500 BFS and PageRank."""
+
+import pytest
+
+from repro.cpu.core import CpuConfig, TimingCore
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.memory_map import PhysicalMemoryMap
+from repro.workloads.graph500 import Graph500Config, Graph500Workload
+from repro.workloads.pagerank import PageRankConfig, PageRankWorkload
+from repro.workloads.rmat import RmatConfig, RmatGenerator
+
+MB = 1024 * 1024
+
+
+def make_core(max_outstanding=16):
+    hierarchy = MemoryHierarchy(PhysicalMemoryMap(256 * MB),
+                                cache=Cache(CacheConfig()))
+    return TimingCore(hierarchy, CpuConfig(max_outstanding=max_outstanding))
+
+
+# ----------------------------------------------------------------------
+# R-MAT
+# ----------------------------------------------------------------------
+def test_rmat_edge_count_and_vertex_range():
+    config = RmatConfig(scale=8, edge_factor=4, seed=1)
+    edges = RmatGenerator(config).generate()
+    assert len(edges) == config.num_edges == 256 * 4
+    assert all(0 <= src < 256 and 0 <= dst < 256 for src, dst in edges)
+
+
+def test_rmat_is_deterministic():
+    assert RmatGenerator(RmatConfig(scale=6, seed=3)).generate() == \
+           RmatGenerator(RmatConfig(scale=6, seed=3)).generate()
+
+
+def test_rmat_degree_distribution_is_skewed():
+    config = RmatConfig(scale=10, edge_factor=8, seed=2)
+    generator = RmatGenerator(config)
+    degrees = generator.degree_histogram(generator.generate())
+    mean_degree = sum(degrees) / len(degrees)
+    assert max(degrees) > 5 * mean_degree
+
+
+def test_rmat_validation():
+    with pytest.raises(ValueError):
+        RmatConfig(scale=0)
+    with pytest.raises(ValueError):
+        RmatConfig(a=0.5, b=0.4, c=0.2)
+    with pytest.raises(ValueError):
+        RmatGenerator().generate(-1)
+
+
+# ----------------------------------------------------------------------
+# Graph500 BFS
+# ----------------------------------------------------------------------
+def test_graph500_traverses_edges():
+    config = Graph500Config(scale=7, edge_factor=4, num_roots=1)
+    result = Graph500Workload(config).run(make_core())
+    assert result.metric("edges_traversed") > 0
+    assert result.metric("vertices_visited") > 1
+    assert result.total_time_ns > 0
+
+
+def test_graph500_more_roots_more_work():
+    one = Graph500Workload(Graph500Config(scale=7, num_roots=1)).run(make_core())
+    two = Graph500Workload(Graph500Config(scale=7, num_roots=2)).run(make_core())
+    assert two.metric("vertices_visited") > one.metric("vertices_visited")
+
+
+def test_graph500_dataset_size():
+    config = Graph500Config(scale=8, edge_factor=4)
+    assert config.dataset_bytes == (256 * 8 * 2) + (256 * 4 * 8)
+
+
+def test_graph500_validation():
+    with pytest.raises(ValueError):
+        Graph500Config(scale=0)
+
+
+# ----------------------------------------------------------------------
+# PageRank
+# ----------------------------------------------------------------------
+def test_pagerank_processes_all_edges():
+    config = PageRankConfig(num_vertices=512, num_edges=2000, iterations=2)
+    result = PageRankWorkload(config).run(make_core())
+    assert result.metric("edges_processed") == 4000
+
+
+def test_pagerank_async_is_not_slower_than_sync_for_remote_data():
+    from repro.core.channels.crma import CrmaRemoteBackend
+    from repro.core.channels.path import FabricPath
+    from repro.core.channels.crma import CrmaChannel
+
+    def core():
+        memory_map = PhysicalMemoryMap(4096)
+        memory_map.hot_plug_remote(64 * MB, donor_node=1, donor_base=0)
+        backend = CrmaRemoteBackend(CrmaChannel(path=FabricPath()))
+        hierarchy = MemoryHierarchy(memory_map, cache=Cache(CacheConfig()),
+                                    remote_backend=backend)
+        return TimingCore(hierarchy, CpuConfig(max_outstanding=16))
+
+    sync_config = PageRankConfig(num_vertices=512, num_edges=3000, asynchronous=False)
+    async_config = PageRankConfig(num_vertices=512, num_edges=3000, asynchronous=True)
+    sync_time = PageRankWorkload(sync_config).run(core()).total_time_ns
+    async_time = PageRankWorkload(async_config).run(core()).total_time_ns
+    assert async_time < sync_time
+
+
+def test_pagerank_per_access_overhead_adds_cost():
+    base = PageRankWorkload(PageRankConfig(num_vertices=256, num_edges=1000)).run(
+        make_core()).total_time_ns
+    with_overhead = PageRankWorkload(PageRankConfig(
+        num_vertices=256, num_edges=1000, per_access_overhead_ns=2000)).run(
+        make_core()).total_time_ns
+    assert with_overhead > base + 1000 * 2000 - 1
+
+
+def test_pagerank_dataset_size_and_validation():
+    config = PageRankConfig(num_vertices=100, num_edges=400)
+    assert config.dataset_bytes == 400 * 8 + 2 * 100 * 8
+    with pytest.raises(ValueError):
+        PageRankConfig(num_edges=0)

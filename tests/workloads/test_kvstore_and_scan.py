@@ -1,0 +1,121 @@
+"""Unit tests for the key/value, grep and CC workload generators."""
+
+import pytest
+
+from repro.cpu.core import CpuConfig, TimingCore
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.memory_map import PhysicalMemoryMap
+from repro.workloads.connected_components import (
+    ConnectedComponentsConfig,
+    ConnectedComponentsWorkload,
+)
+from repro.workloads.grep import GrepConfig, GrepWorkload
+from repro.workloads.kvstore import (
+    KeyValueConfig,
+    KeyValueWorkload,
+    TransactionalKeyValueWorkload,
+)
+
+MB = 1024 * 1024
+
+
+def make_core():
+    hierarchy = MemoryHierarchy(PhysicalMemoryMap(64 * MB),
+                                cache=Cache(CacheConfig()), enable_prefetch=True)
+    return TimingCore(hierarchy, CpuConfig())
+
+
+def test_kvstore_runs_and_reports_mix():
+    config = KeyValueConfig(dataset_bytes=1 * MB, num_queries=500, seed=5)
+    result = KeyValueWorkload(config).run(make_core())
+    assert result.total_time_ns > 0
+    assert result.metric("queries") == 500
+    assert result.metric("reads") + result.metric("writes") == 500
+    # The 80/20 mix should be roughly respected.
+    assert 0.7 < result.metric("read_fraction") < 0.9
+
+
+def test_kvstore_accesses_every_line_of_a_record():
+    config = KeyValueConfig(dataset_bytes=1 * MB, record_bytes=128, num_queries=50)
+    result = KeyValueWorkload(config).run(make_core())
+    # 128-byte records over 32-byte lines: 4 accesses per query.
+    assert result.execution.accesses == 50 * 4
+
+
+def test_kvstore_deterministic_given_seed():
+    config = KeyValueConfig(dataset_bytes=1 * MB, num_queries=200, seed=7)
+    first = KeyValueWorkload(config).run(make_core()).total_time_ns
+    second = KeyValueWorkload(config).run(make_core()).total_time_ns
+    assert first == second
+
+
+def test_kvstore_per_query_overhead_increases_time():
+    base_config = KeyValueConfig(dataset_bytes=1 * MB, num_queries=200, seed=3)
+    slow_config = KeyValueConfig(dataset_bytes=1 * MB, num_queries=200, seed=3,
+                                 per_query_overhead_ns=10_000)
+    fast = KeyValueWorkload(base_config).run(make_core()).total_time_ns
+    slow = KeyValueWorkload(slow_config).run(make_core()).total_time_ns
+    assert slow >= fast + 200 * 10_000
+
+
+def test_kvstore_config_validation():
+    with pytest.raises(ValueError):
+        KeyValueConfig(dataset_bytes=0)
+    with pytest.raises(ValueError):
+        KeyValueConfig(read_fraction=1.5)
+
+
+def test_transactional_kvstore_counts_transactions():
+    config = KeyValueConfig(dataset_bytes=1 * MB, num_queries=100)
+    result = TransactionalKeyValueWorkload(config, queries_per_transaction=5).run(make_core())
+    assert result.metric("transactions") == 20
+    assert result.metric("queries") == 100
+
+
+def test_grep_scans_whole_dataset_sequentially():
+    config = GrepConfig(dataset_bytes=1 * MB, record_bytes=128, stride_records=1)
+    result = GrepWorkload(config).run(make_core())
+    assert result.metric("records_scanned") == config.num_records
+    assert result.metric("bytes_scanned") == config.dataset_bytes
+
+
+def test_grep_stride_reduces_work():
+    full = GrepWorkload(GrepConfig(dataset_bytes=1 * MB)).run(make_core())
+    strided = GrepWorkload(GrepConfig(dataset_bytes=1 * MB, stride_records=4)).run(make_core())
+    assert strided.metric("records_scanned") < full.metric("records_scanned")
+    assert strided.total_time_ns < full.total_time_ns
+
+
+def test_grep_benefits_from_prefetcher_on_remote_data():
+    from repro.core.channels.crma import CrmaChannel, CrmaRemoteBackend
+
+    config = GrepConfig(dataset_bytes=1 * MB)
+
+    def run(prefetch):
+        memory_map = PhysicalMemoryMap(4096)
+        memory_map.hot_plug_remote(64 * MB, donor_node=1, donor_base=0)
+        hierarchy = MemoryHierarchy(memory_map, cache=Cache(CacheConfig()),
+                                    remote_backend=CrmaRemoteBackend(CrmaChannel()),
+                                    enable_prefetch=prefetch)
+        return GrepWorkload(config).run(TimingCore(hierarchy)).total_time_ns
+
+    # Streaming over remote memory pipelines behind the prefetcher.
+    assert run(True) < 0.6 * run(False)
+
+
+def test_cc_processes_every_edge_each_iteration():
+    config = ConnectedComponentsConfig(num_vertices=256, num_edges=1000, iterations=3)
+    result = ConnectedComponentsWorkload(config).run(make_core())
+    assert result.metric("edges_processed") == 3000
+    assert result.metric("iterations") == 3
+
+
+def test_cc_dataset_size_accounts_for_edges_and_labels():
+    config = ConnectedComponentsConfig(num_vertices=256, num_edges=1000)
+    assert config.dataset_bytes == 1000 * 8 + 256 * 8
+
+
+def test_cc_validation():
+    with pytest.raises(ValueError):
+        ConnectedComponentsConfig(num_vertices=0)
