@@ -1,0 +1,18 @@
+"""Benchmark: N-node cluster scaling sweep (2 -> 64 nodes)."""
+
+from repro.experiments.fig_cluster_scaling import run_fig_cluster_scaling
+
+
+def test_bench_cluster_scaling(run_once, record_report):
+    report = run_once(run_fig_cluster_scaling)
+    record_report(report)
+    latency = report.series["remote_read_latency_ns"]
+    assert set(latency) == {f"{n}_nodes" for n in (2, 4, 8, 16, 32, 64)}
+    # The directly connected pair is the floor; every fat-tree cluster
+    # pays at least one router crossing on top of it.
+    assert all(latency[label] >= latency["2_nodes"] for label in latency)
+    # Latency grows monotonically with hop count on the largest cluster.
+    by_hops = list(report.series["remote_read_latency_ns_by_hops"].values())
+    assert all(later >= earlier for earlier, later in zip(by_hops, by_hops[1:]))
+    # The shared latency cache carries the sweep.
+    assert report.series["latency_cache"]["hit_rate_percent"] > 90.0

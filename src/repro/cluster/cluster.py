@@ -1,0 +1,167 @@
+"""N-node cluster over a configurable fabric topology.
+
+The seed experiments hard-wire a requester/donor pair over a single
+link or one external router.  :class:`Cluster` scales that setup to a
+fleet: it instantiates a :class:`~repro.core.system.VeniceSystem` over
+a configurable topology (point-to-point pair, single-external-router
+star, multi-router fat-tree, or the prototype's 3D mesh), shares one
+:class:`~repro.cluster.latency_cache.ClusterLatencyCache` across every
+transport channel, and exposes a borrower/donor
+:class:`~repro.cluster.matchmaker.Matchmaker` that assigns
+remote-memory, remote-NIC and remote-accelerator shares across the
+fleet through the Monitor-Node runtime.
+
+Routes are described by :class:`~repro.core.channels.path.CachedFabricPath`
+instances whose hop count and external-router crossings come from the
+topology: a same-leaf fat-tree route crosses one router, a cross-leaf
+route crosses three, and every crossing pays the external router's
+forwarding latency plus its short-link traversal (the Figure 6 model,
+generalised to multi-router paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.latency_cache import ClusterLatencyCache
+from repro.cluster.matchmaker import Matchmaker
+from repro.core.channels.crma import CrmaChannel
+from repro.core.channels.path import CachedFabricPath
+from repro.core.channels.qpair import QPairChannel
+from repro.core.channels.rdma import RdmaChannel
+from repro.core.config import ChannelPlacement, VeniceConfig
+from repro.core.node import VeniceNode
+from repro.core.system import VeniceSystem
+from repro.fabric.router import RouterConfig
+from repro.fabric.topology import Topology
+from repro.runtime.monitor import MonitorNode
+from repro.runtime.policies import make_policy
+
+
+@dataclass
+class ClusterConfig:
+    """Shape and policy of one cluster instance.
+
+    Channel, fabric and per-node parameters stay at the Table 1
+    defaults of :class:`~repro.core.config.VeniceConfig`; the cluster
+    adds the fleet-level knobs.
+    """
+
+    num_nodes: int = 8
+    #: "direct_pair" | "star" | "fat_tree" | "mesh3d"
+    topology: str = "fat_tree"
+    #: Compute nodes per leaf router (fat-tree only).
+    leaf_radix: int = 4
+    #: Spine routers joining the leaves (fat-tree only).
+    num_spines: int = 2
+    #: Mesh dimensions (mesh3d only); must multiply to ``num_nodes``.
+    mesh_dims: Tuple[int, int, int] = (2, 2, 2)
+    #: Transport-channel interface-logic placement for every route.
+    placement: ChannelPlacement = ChannelPlacement.ON_CHIP
+    #: Donor-selection policy name (see :data:`repro.runtime.policies.POLICIES`).
+    policy: str = "distance-first"
+    #: External-router model paid once per router crossed on a route.
+    router: RouterConfig = field(default_factory=RouterConfig)
+
+    def venice(self) -> VeniceConfig:
+        """The equivalent whole-system configuration."""
+        return VeniceConfig(
+            num_nodes=self.num_nodes,
+            topology=self.topology,
+            mesh_dims=self.mesh_dims,
+            fat_tree_leaf_radix=self.leaf_radix,
+            fat_tree_spines=self.num_spines,
+        )
+
+
+class Cluster:
+    """A fleet of Venice nodes with shared-latency fast paths."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 latency_cache: Optional[ClusterLatencyCache] = None):
+        self.config = config or ClusterConfig()
+        self.venice = self.config.venice()
+        self.system = VeniceSystem.build(self.venice)
+        self.system.monitor.policy = make_policy(self.config.policy)
+        #: Shared by every path of this cluster; pass one cache to
+        #: several clusters to share latencies across a sweep.  (An
+        #: empty cache has len() == 0 and is falsy, so test for None.)
+        self.latency_cache = (latency_cache if latency_cache is not None
+                              else ClusterLatencyCache())
+        self.matchmaker = Matchmaker(self)
+
+    # ------------------------------------------------------------------
+    # Topology / node access
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        return self.system.topology
+
+    @property
+    def monitor(self) -> MonitorNode:
+        return self.system.monitor
+
+    @property
+    def nodes(self) -> Dict[int, VeniceNode]:
+        return self.system.nodes
+
+    @property
+    def node_ids(self) -> List[int]:
+        return self.system.node_ids
+
+    def node(self, node_id: int) -> VeniceNode:
+        return self.system.node(node_id)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.system.nodes)
+
+    # ------------------------------------------------------------------
+    # Cached fabric paths and channels
+    # ------------------------------------------------------------------
+    def path_between(self, src: int, dst: int) -> CachedFabricPath:
+        """Cached, router-aware fabric path between two compute nodes.
+
+        Route shape (hops and router crossings) comes from
+        :meth:`VeniceSystem.path_between`; the cluster swaps in its own
+        router model and the shared latency cache.  Cached queries are
+        answered at :func:`~repro.core.channels.path.size_class`
+        granularity -- exact for power-of-two payloads (every channel's
+        request/cacheline/chunk size), rounded up otherwise.
+        """
+        base = self.system.path_between(src, dst, placement=self.config.placement)
+        return CachedFabricPath(
+            fabric=base.fabric,
+            hops=base.hops,
+            placement=base.placement,
+            external_router=(self.config.router
+                             if base.external_router is not None else None),
+            external_router_count=base.external_router_count,
+            cache=self.latency_cache,
+        )
+
+    def crma_channel(self, recipient: int, donor: int) -> CrmaChannel:
+        """CRMA channel from ``recipient`` towards ``donor``'s memory."""
+        return self.system.crma_channel(recipient, donor,
+                                        path=self.path_between(recipient, donor))
+
+    def rdma_channel(self, recipient: int, donor: int) -> RdmaChannel:
+        """RDMA channel from ``recipient`` towards ``donor``'s memory."""
+        return self.system.rdma_channel(recipient, donor,
+                                        path=self.path_between(recipient, donor))
+
+    def qpair_channel(self, local: int, remote: int) -> QPairChannel:
+        """QPair channel between two nodes."""
+        return self.system.qpair_channel(local, remote,
+                                         path=self.path_between(local, remote))
+
+    def remote_read_latency_ns(self, requester: int, donor: int,
+                               size_bytes: int = 64) -> int:
+        """Closed-form CRMA read latency between two nodes."""
+        return self.crma_channel(requester, donor).read_latency_ns(size_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"Cluster(nodes={self.num_nodes}, "
+                f"topology={self.topology.name!r}, "
+                f"policy={self.config.policy!r})")

@@ -1,0 +1,75 @@
+"""Shared memoization of closed-form fabric-path latencies.
+
+An N-node sweep touches O(N^2) routes and performs many accesses per
+route, but only a handful of distinct (route shape, size class)
+combinations actually exist: a fat-tree has two route shapes (same-leaf
+and cross-leaf) regardless of N, and channel traffic clusters into a
+few payload size classes.  :class:`ClusterLatencyCache` memoizes the
+:class:`~repro.core.channels.path.CachedFabricPath` closed forms under
+those keys, so cluster sweeps pay for each latency computation once and
+answer every further access from the cache.  Hit/miss counters make the
+fast path measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.channels.path import size_class
+
+__all__ = ["ClusterLatencyCache", "size_class"]
+
+
+class ClusterLatencyCache:
+    """Keyed memo store with hit/miss instrumentation."""
+
+    def __init__(self, name: str = "cluster-latency-cache"):
+        self.name = name
+        self._entries: Dict[Tuple, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Tuple, compute: Callable[[], int]) -> int:
+        """Return the cached value for ``key``, computing it on a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._entries[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        """Snapshot of the cache counters for reports."""
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ClusterLatencyCache(name={self.name!r}, entries={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")

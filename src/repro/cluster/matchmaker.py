@@ -1,0 +1,167 @@
+"""Borrower/donor matchmaking across a cluster fleet.
+
+The :class:`Matchmaker` is the fleet-level front door to the Monitor
+Node: it turns "node R wants memory / an accelerator / a NIC" into a
+donor allocation (ordered by the cluster's donor-selection policy), a
+transport channel over the cluster's cached fabric paths, and the
+matching sharing mechanism from :mod:`repro.core.sharing`.  Every
+active relationship is tracked as a :class:`ResourceShare` so sweeps
+can measure per-share latency and throughput and tear everything down
+again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.sharing.remote_accelerator import RemoteAcceleratorTarget
+from repro.core.sharing.remote_memory import RemoteMemoryGrant
+from repro.core.sharing.remote_nic import VirtualNic
+from repro.runtime.monitor import Allocation
+from repro.runtime.tables import ResourceKind
+
+
+@dataclass(eq=False)
+class ResourceShare:
+    """One active borrower/donor relationship in the fleet.
+
+    Identity equality (``eq=False``): shares are tracked and removed as
+    live objects, and two field-identical shares must stay distinct.
+    """
+
+    kind: ResourceKind
+    requester: int
+    donor: int
+    #: Bytes for memory shares, unit count otherwise.
+    amount: int
+    allocation: Allocation
+    #: Fabric links on the route (including links into/out of routers).
+    link_hops: int
+    #: Router nodes crossed on the route.
+    router_crossings: int
+    #: The transport channel serving the share (CRMA for memory, RDMA
+    #: for accelerator staging, QPair for NIC forwarding).
+    channel: object
+    grant: Optional[RemoteMemoryGrant] = None
+    target: Optional[RemoteAcceleratorTarget] = None
+    vnic: Optional[VirtualNic] = None
+    released: bool = False
+
+
+class Matchmaker:
+    """Assigns resource shares across the fleet via the Monitor Node."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.shares: List[ResourceShare] = []
+
+    # ------------------------------------------------------------------
+    # Individual borrows
+    # ------------------------------------------------------------------
+    def _record(self, kind: ResourceKind, requester: int,
+                allocation: Allocation, amount: int, channel,
+                **mechanism) -> ResourceShare:
+        # The channel's path already encodes the route shape; reuse it
+        # instead of re-running shortest-path queries on the topology.
+        path = channel.path
+        crossings = (path.external_router_count
+                     if path.external_router is not None else 0)
+        share = ResourceShare(
+            kind=kind, requester=requester, donor=allocation.donor,
+            amount=amount, allocation=allocation,
+            link_hops=path.hops + crossings,
+            router_crossings=crossings,
+            channel=channel, **mechanism,
+        )
+        self.shares.append(share)
+        return share
+
+    def borrow_memory(self, requester: int, size_bytes: int) -> ResourceShare:
+        """Borrow ``size_bytes`` of remote memory for ``requester``.
+
+        Full Figure 2 flow against the policy-chosen donor, delegated to
+        :meth:`VeniceSystem.request_remote_memory` with the CRMA channel
+        built over the cluster's cached path.
+        """
+        allocation, grant = self.cluster.system.request_remote_memory(
+            requester, size_bytes,
+            channel_factory=lambda donor: self.cluster.crma_channel(requester,
+                                                                    donor))
+        return self._record(ResourceKind.MEMORY, requester, allocation,
+                            size_bytes, grant.channel, grant=grant)
+
+    def borrow_accelerator(self, requester: int,
+                           exclusive_mapping: bool = True) -> ResourceShare:
+        """Borrow one remote accelerator (mailbox dispatch target)."""
+        allocation = self.cluster.monitor.request_accelerator(requester)
+        donor_node = self.cluster.node(allocation.donor)
+        rdma = self.cluster.rdma_channel(requester, allocation.donor)
+        target = RemoteAcceleratorTarget(
+            accelerator=donor_node.primary_accelerator(),
+            mailbox=donor_node.mailboxes[0],
+            rdma=rdma,
+            crma=self.cluster.crma_channel(requester, allocation.donor),
+            qpair=self.cluster.qpair_channel(requester, allocation.donor),
+            exclusive_mapping=exclusive_mapping,
+        )
+        return self._record(ResourceKind.ACCELERATOR, requester, allocation,
+                            1, rdma, target=target)
+
+    def borrow_nic(self, requester: int) -> ResourceShare:
+        """Borrow one remote NIC as an IP-over-QPair virtual NIC."""
+        allocation = self.cluster.monitor.request_nic(requester)
+        donor_node = self.cluster.node(allocation.donor)
+        qpair = self.cluster.qpair_channel(requester, allocation.donor)
+        vnic = VirtualNic(real_nic=donor_node.primary_nic(), qpair=qpair)
+        return self._record(ResourceKind.NIC, requester, allocation,
+                            1, qpair, vnic=vnic)
+
+    # ------------------------------------------------------------------
+    # Fleet-level provisioning
+    # ------------------------------------------------------------------
+    def provision_fleet(self, memory_bytes_per_node: int = 0,
+                        accelerators_per_node: int = 0,
+                        nics_per_node: int = 0) -> List[ResourceShare]:
+        """Every compute node borrows the requested shares from the fleet.
+
+        Requesters are served in node order; the Monitor Node's donor
+        policy spreads the matching donors.  Returns the newly created
+        shares (in request order).
+        """
+        created: List[ResourceShare] = []
+        for requester in self.cluster.node_ids:
+            if memory_bytes_per_node > 0:
+                created.append(self.borrow_memory(requester,
+                                                  memory_bytes_per_node))
+            for _ in range(accelerators_per_node):
+                created.append(self.borrow_accelerator(requester))
+            for _ in range(nics_per_node):
+                created.append(self.borrow_nic(requester))
+        return created
+
+    # ------------------------------------------------------------------
+    # Teardown / queries
+    # ------------------------------------------------------------------
+    def release(self, share: ResourceShare) -> None:
+        """Tear one share down and return the resource to its donor."""
+        if share.released:
+            raise ValueError("share is already released")
+        if share.kind is ResourceKind.MEMORY:
+            self.cluster.system.release_remote_memory(share.allocation,
+                                                      share.grant)
+        else:
+            self.cluster.monitor.release(share.allocation)
+        share.released = True
+        self.shares.remove(share)
+
+    def release_all(self) -> None:
+        """Tear down every active share (newest first)."""
+        for share in list(reversed(self.shares)):
+            self.release(share)
+
+    def shares_of_kind(self, kind: ResourceKind) -> List[ResourceShare]:
+        return [share for share in self.shares if share.kind is kind]
+
+    def shares_for_donor(self, donor: int) -> List[ResourceShare]:
+        return [share for share in self.shares if share.donor == donor]

@@ -130,6 +130,10 @@ class VeniceConfig:
     num_nodes: int = 8
     topology: str = "mesh3d"
     mesh_dims: Tuple[int, int, int] = (2, 2, 2)
+    #: Fat-tree shape (used when ``topology == "fat_tree"``): compute
+    #: nodes per leaf router, and number of spine routers joining leaves.
+    fat_tree_leaf_radix: int = 4
+    fat_tree_spines: int = 2
     fabric: FabricConfig = field(default_factory=FabricConfig)
     crma: CrmaConfig = field(default_factory=CrmaConfig)
     rdma: RdmaConfig = field(default_factory=RdmaConfig)
@@ -141,7 +145,7 @@ class VeniceConfig:
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("a Venice system needs at least one node")
-        if self.topology not in ("mesh3d", "direct_pair", "star"):
+        if self.topology not in ("mesh3d", "direct_pair", "star", "fat_tree"):
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.topology == "mesh3d":
             x, y, z = self.mesh_dims
@@ -151,6 +155,11 @@ class VeniceConfig:
                 )
         if self.topology == "direct_pair" and self.num_nodes != 2:
             raise ValueError("direct_pair topology requires exactly two nodes")
+        if self.topology == "fat_tree":
+            if self.num_nodes < 2:
+                raise ValueError("fat_tree topology needs at least two nodes")
+            if self.fat_tree_leaf_radix < 1 or self.fat_tree_spines < 1:
+                raise ValueError("fat_tree radix and spine count must be positive")
 
     @classmethod
     def table1(cls) -> "VeniceConfig":

@@ -13,22 +13,29 @@ from repro.core.sharing.remote_memory import (
     RemoteMemoryGrant,
     share_memory,
     stop_sharing,
+    swap_device_for_grant,
 )
 from repro.core.sharing.remote_accelerator import (
     AcceleratorPool,
     LocalAcceleratorTarget,
     RemoteAcceleratorTarget,
 )
-from repro.core.sharing.remote_nic import VirtualNic, RemoteNicSharing
+from repro.core.sharing.remote_nic import (
+    RemoteNicSharing,
+    VirtualNic,
+    VnicDriverConfig,
+)
 
 __all__ = [
     "MemorySharingError",
     "RemoteMemoryGrant",
     "share_memory",
     "stop_sharing",
+    "swap_device_for_grant",
     "AcceleratorPool",
     "LocalAcceleratorTarget",
     "RemoteAcceleratorTarget",
     "VirtualNic",
+    "VnicDriverConfig",
     "RemoteNicSharing",
 ]

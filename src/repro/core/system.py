@@ -27,6 +27,7 @@ from repro.fabric.router import RouterConfig
 from repro.fabric.topology import (
     Topology,
     build_direct_pair,
+    build_fat_tree,
     build_mesh3d,
     build_star,
     dimension_order_route,
@@ -80,6 +81,10 @@ class VeniceSystem:
             topology = build_mesh3d(config.mesh_dims)
         elif config.topology == "direct_pair":
             topology = build_direct_pair()
+        elif config.topology == "fat_tree":
+            topology = build_fat_tree(config.num_nodes,
+                                      leaf_radix=config.fat_tree_leaf_radix,
+                                      num_spines=config.fat_tree_spines)
         else:
             topology = build_star(config.num_nodes)
         topology.validate()
@@ -101,17 +106,25 @@ class VeniceSystem:
     def path_between(self, src: int, dst: int,
                      placement: Optional[ChannelPlacement] = None,
                      through_router: bool = False) -> FabricPath:
-        """Fabric path description between two compute nodes."""
+        """Fabric path description between two compute nodes.
+
+        Router nodes on the topology's shortest path (star hubs,
+        fat-tree leaves and spines) are charged as external-router
+        crossings; the remaining node-level links are the path's hops.
+        ``through_router`` inserts one additional external router on top
+        (the Figure 6 knob).
+        """
         if src == dst:
             raise ValueError("a fabric path requires two distinct nodes")
-        hops = self.topology.hop_count(src, dst)
+        links, crossings = self.topology.route_shape(src, dst)
         path = FabricPath(
             fabric=self.config.fabric,
-            hops=hops,
+            hops=max(1, links - crossings),
             placement=placement or ChannelPlacement.ON_CHIP,
         )
-        if through_router:
-            path = path.with_router(RouterConfig())
+        total_routers = crossings + (1 if through_router else 0)
+        if total_routers:
+            path = path.with_router(RouterConfig(), count=total_routers)
         return path
 
     # ------------------------------------------------------------------
@@ -119,38 +132,50 @@ class VeniceSystem:
     # ------------------------------------------------------------------
     def crma_channel(self, recipient: int, donor: int,
                      placement: Optional[ChannelPlacement] = None,
-                     through_router: bool = False) -> CrmaChannel:
+                     through_router: bool = False,
+                     path: Optional[FabricPath] = None) -> CrmaChannel:
         """CRMA channel from ``recipient`` towards ``donor``'s memory."""
-        path = self.path_between(recipient, donor, placement, through_router)
+        path = path or self.path_between(recipient, donor, placement, through_router)
         return CrmaChannel(config=self.config.crma, path=path,
                            donor_dram=self.node(donor).dram,
                            name=f"crma{recipient}->{donor}")
 
     def rdma_channel(self, recipient: int, donor: int,
                      placement: Optional[ChannelPlacement] = None,
-                     through_router: bool = False) -> RdmaChannel:
+                     through_router: bool = False,
+                     path: Optional[FabricPath] = None) -> RdmaChannel:
         """RDMA channel from ``recipient`` towards ``donor``'s memory."""
-        path = self.path_between(recipient, donor, placement, through_router)
+        path = path or self.path_between(recipient, donor, placement, through_router)
         return RdmaChannel(config=self.config.rdma, path=path,
                            donor_dram=self.node(donor).dram,
                            name=f"rdma{recipient}->{donor}")
 
     def qpair_channel(self, local: int, remote: int,
                       placement: Optional[ChannelPlacement] = None,
-                      through_router: bool = False) -> QPairChannel:
+                      through_router: bool = False,
+                      path: Optional[FabricPath] = None) -> QPairChannel:
         """QPair channel between two nodes."""
-        path = self.path_between(local, remote, placement, through_router)
+        path = path or self.path_between(local, remote, placement, through_router)
         return QPairChannel(config=self.config.qpair, path=path,
                             name=f"qpair{local}<->{remote}")
 
     # ------------------------------------------------------------------
     # Memory sharing front door
     # ------------------------------------------------------------------
-    def request_remote_memory(self, requester: int, size_bytes: int
+    def request_remote_memory(self, requester: int, size_bytes: int,
+                              channel_factory=None
                               ) -> Tuple[Allocation, RemoteMemoryGrant]:
-        """Full Figure 2 flow: MN allocation + hot-remove/hot-plug + RAMT."""
+        """Full Figure 2 flow: MN allocation + hot-remove/hot-plug + RAMT.
+
+        ``channel_factory`` (donor id -> :class:`CrmaChannel`) lets
+        callers such as the cluster matchmaker supply channels over their
+        own paths; the donor is only known after the MN picks it.
+        """
         allocation = self.monitor.request_memory(requester, size_bytes)
-        channel = self.crma_channel(recipient=requester, donor=allocation.donor)
+        if channel_factory is not None:
+            channel = channel_factory(allocation.donor)
+        else:
+            channel = self.crma_channel(recipient=requester, donor=allocation.donor)
         grant = share_memory(
             donor_map=self.node(allocation.donor).memory_map,
             recipient_map=self.node(requester).memory_map,
@@ -183,13 +208,16 @@ class VeniceSystem:
         """Instantiate switches, links and datalinks over the topology.
 
         Routing tables are programmed with dimension-order routes (falling
-        back to shortest paths off-mesh).  The local sink of every switch
-        is left unconnected; callers attach their own packet consumers.
+        back to shortest paths off-mesh).  Router nodes of star/fat-tree
+        topologies get switches too, so packets relay through them; only
+        compute nodes are routing destinations.  The local sink of every
+        switch is left unconnected; callers attach their own packet
+        consumers.
         """
         sim = sim or Simulator()
         switches: Dict[int, Switch] = {
             node_id: Switch(sim, node_id, self.config.fabric.switch)
-            for node_id in self.topology.compute_nodes
+            for node_id in self.topology.nodes
         }
         links: Dict[Tuple[int, int], PhysicalLink] = {}
         datalinks: Dict[Tuple[int, int], DataLink] = {}

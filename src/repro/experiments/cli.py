@@ -19,6 +19,7 @@ from repro.experiments.fig15_remote_memory import run_fig15
 from repro.experiments.fig16_accel_nic import run_fig16a, run_fig16b
 from repro.experiments.fig17_channels import run_fig17
 from repro.experiments.fig18_flow_control import run_fig18
+from repro.experiments.fig_cluster_scaling import run_fig_cluster_scaling
 from repro.experiments.hardware_cost import run_hardware_cost
 
 #: Experiment id -> (description, driver).
@@ -32,6 +33,8 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig16b": ("remote NIC sharing", run_fig16b),
     "fig17": ("channel comparison per access pattern", run_fig17),
     "fig18": ("credit flow control over CRMA", run_fig18),
+    "cluster": ("N-node cluster scaling over the fat-tree fabric",
+                run_fig_cluster_scaling),
     "hwcost": ("Section 7.3 hardware cost", run_hardware_cost),
 }
 

@@ -9,7 +9,7 @@ latency, and contended output ports serialise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.sim.engine import Simulator
@@ -32,11 +32,7 @@ class RouterConfig:
     #: same rack, so its extra hop crosses a short electrical link rather
     #: than another full-length optical run; the default therefore uses a
     #: much smaller PHY latency than the node-to-node links.
-    link: LinkConfig = None
-
-    def __post_init__(self) -> None:
-        if self.link is None:
-            self.link = LinkConfig(phy_latency_ns=300)
+    link: LinkConfig = field(default_factory=lambda: LinkConfig(phy_latency_ns=300))
 
 
 class ExternalRouter:

@@ -61,6 +61,23 @@ class Topology:
         path = self.shortest_path(src, dst)
         return path[1]
 
+    def route_shape(self, src: int, dst: int) -> Tuple[int, int]:
+        """(link count, router nodes crossed) of the shortest path.
+
+        One shortest-path computation answers both questions; hot paths
+        should prefer this over separate ``hop_count`` /
+        ``router_crossings`` calls.
+        """
+        if src == dst:
+            return 0, 0
+        path = self.shortest_path(src, dst)
+        routers = set(self.router_nodes)
+        return len(path) - 1, sum(1 for node in path[1:-1] if node in routers)
+
+    def router_crossings(self, src: int, dst: int) -> int:
+        """Number of router nodes crossed on the shortest path."""
+        return self.route_shape(src, dst)[1]
+
     def is_connected(self) -> bool:
         return nx.is_connected(self.graph) if self.graph.number_of_nodes() else True
 
@@ -116,6 +133,37 @@ def build_mesh3d(dims: Tuple[int, int, int] = (2, 2, 2)) -> Topology:
             topo.graph.add_edge(node, node_id(x, y + 1, z))
         if z + 1 < z_dim:
             topo.graph.add_edge(node, node_id(x, y, z + 1))
+    return topo
+
+
+def build_fat_tree(num_nodes: int, leaf_radix: int = 4,
+                   num_spines: int = 2) -> Topology:
+    """Two-level multi-router fat-tree for N-node clusters.
+
+    Compute nodes attach to leaf routers (``leaf_radix`` nodes per
+    leaf); every leaf connects to every spine router, so any two nodes
+    are at most four links apart: same-leaf pairs cross one router,
+    cross-leaf pairs cross three (leaf, spine, leaf).  When all nodes
+    fit under a single leaf no spine level is created.
+    """
+    if num_nodes < 2:
+        raise ValueError("a fat-tree needs at least two compute nodes")
+    if leaf_radix < 1:
+        raise ValueError(f"leaf radix must be positive, got {leaf_radix}")
+    if num_spines < 1:
+        raise ValueError(f"spine count must be positive, got {num_spines}")
+    num_leaves = -(-num_nodes // leaf_radix)
+    topo = Topology(name=f"fat_tree_{num_nodes}n_{num_leaves}l")
+    leaf_base = num_nodes
+    for node in range(num_nodes):
+        topo.graph.add_edge(node, leaf_base + node // leaf_radix)
+    topo.router_nodes.extend(range(leaf_base, leaf_base + num_leaves))
+    if num_leaves > 1:
+        spine_base = leaf_base + num_leaves
+        for spine in range(spine_base, spine_base + num_spines):
+            topo.router_nodes.append(spine)
+            for leaf in range(leaf_base, leaf_base + num_leaves):
+                topo.graph.add_edge(leaf, spine)
     return topo
 
 

@@ -119,3 +119,21 @@ class BandwidthAwarePolicy(DonorSelectionPolicy):
             return hops + self.contention_weight * contended
 
         return sorted(candidates, key=lambda record: (score(record), record.node_id))
+
+
+#: Registry of the built-in policies, keyed by their public names.
+POLICIES = {
+    policy.name: policy
+    for policy in (DistanceFirstPolicy, LoadBalancedPolicy, BandwidthAwarePolicy)
+}
+
+
+def make_policy(name: str, **kwargs) -> DonorSelectionPolicy:
+    """Instantiate a donor-selection policy by its registry name."""
+    try:
+        policy_class = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown donor policy {name!r}; choose from {', '.join(sorted(POLICIES))}"
+        ) from None
+    return policy_class(**kwargs)

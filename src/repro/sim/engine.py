@@ -109,10 +109,14 @@ class Simulator:
         ----------
         until:
             Absolute time (ns) at which to stop.  Events scheduled at
-            exactly ``until`` are still executed.
+            exactly ``until`` are still executed, and the clock always
+            ends at ``max(until, now)`` -- it advances to the deadline
+            even when the queue drains early, and never moves backwards
+            for a deadline already in the past.
         max_events:
             Safety valve limiting the number of callbacks executed in
-            this call; exceeding it raises :class:`SimulationError`.
+            this call; attempting to execute more raises
+            :class:`SimulationError`.
 
         Returns
         -------
@@ -126,18 +130,17 @@ class Simulator:
         try:
             while True:
                 next_time = self.peek()
-                if next_time is None:
+                if next_time is None or (until is not None and next_time > until):
+                    if until is not None:
+                        self._now = max(until, self._now)
                     break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                if not self.step():
-                    break
-                executed += 1
-                if max_events is not None and executed > max_events:
+                if max_events is not None and executed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; possible livelock"
                     )
+                if not self.step():
+                    break
+                executed += 1
         finally:
             self._running = False
         return self._now

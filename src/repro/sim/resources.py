@@ -184,16 +184,22 @@ class CreditPool:
         return True
 
     def replenish(self, amount: int = 1) -> None:
-        """Return ``amount`` credits and grant any now-satisfiable waiters."""
+        """Return ``amount`` credits and grant any now-satisfiable waiters.
+
+        Waiters are granted before the pool is clamped to ``maximum``:
+        credits owed to blocked senders must never be destroyed by the
+        clamp.
+        """
         if amount <= 0:
             raise ValueError(f"replenish amount must be positive, got {amount}")
-        self._credits = min(self.maximum, self._credits + amount)
+        self._credits += amount
         self.total_replenished += amount
         while self._waiters and self._credits >= self._waiters[0][1]:
             event, want = self._waiters.popleft()
             self._credits -= want
             self.total_taken += want
             event.succeed(None)
+        self._credits = min(self.maximum, self._credits)
 
     def pending_waiters(self) -> int:
         return len(self._waiters)

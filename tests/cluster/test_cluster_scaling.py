@@ -1,0 +1,49 @@
+"""Acceptance tests for the fig_cluster_scaling sweep."""
+
+import time
+
+from repro.experiments.fig_cluster_scaling import (
+    ClusterScalingConfig,
+    run_fig_cluster_scaling,
+)
+
+
+def test_16_node_sweep_fast_monotonic_and_cache_effective():
+    config = ClusterScalingConfig(node_counts=(2, 4, 8, 16))
+    start = time.monotonic()
+    report = run_fig_cluster_scaling(config)
+    elapsed = time.monotonic() - start
+    assert elapsed < 60.0
+
+    # Remote-read latency is monotonically non-decreasing in hop count.
+    by_hops = list(report.series["remote_read_latency_ns_by_hops"].values())
+    assert len(by_hops) >= 2
+    assert all(later >= earlier for earlier, later in zip(by_hops, by_hops[1:]))
+
+    # The shared latency cache served the sweep.
+    cache = report.series["latency_cache"]
+    assert cache["hit_rate_percent"] > 90.0
+    assert cache["lookups"] > 100
+
+
+def test_sweep_reports_degradation_relative_to_pair():
+    report = run_fig_cluster_scaling(
+        ClusterScalingConfig(node_counts=(2, 4, 16)))
+    latency = report.series["remote_read_latency_ns"]
+    assert list(latency) == ["2_nodes", "4_nodes", "16_nodes"]
+    # Any fat-tree cluster pays more per read than the direct pair...
+    assert latency["16_nodes"] > latency["2_nodes"]
+    degradation = report.series["latency_degradation_percent_vs_baseline"]
+    assert degradation["2_nodes"] == 0.0
+    assert all(value >= 0.0 for value in degradation.values())
+    # ...and bulk throughput degrades accordingly.
+    throughput = report.series["bulk_throughput_gbps"]
+    assert throughput["16_nodes"] < throughput["2_nodes"]
+
+
+def test_sweep_scales_to_64_nodes():
+    report = run_fig_cluster_scaling(
+        ClusterScalingConfig(node_counts=(2, 64), reads_per_share=4))
+    assert "64_nodes" in report.series["remote_read_latency_ns"]
+    # 64 nodes over radix-4 leaves guarantees cross-leaf routes exist.
+    assert "4_hops" in report.series["remote_read_latency_ns_by_hops"]

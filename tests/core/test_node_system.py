@@ -58,6 +58,38 @@ def test_build_pair_and_star_systems():
     assert star.topology.hop_count(0, 1) == 2
 
 
+def test_path_between_charges_topology_routers():
+    # Star and fat-tree routes cross router nodes; the path must charge
+    # them as external-router crossings, consistent with the Figure 6
+    # model (and with the cluster layer's cached paths).
+    star = VeniceSystem.build(VeniceConfig(num_nodes=4, topology="star"))
+    routed = star.path_between(0, 1)
+    assert routed.hops == 1
+    assert routed.external_router is not None
+    assert routed.external_router_count == 1
+    fat_tree = VeniceSystem.build(VeniceConfig(num_nodes=16, topology="fat_tree"))
+    same_leaf = fat_tree.path_between(0, 1)
+    cross_leaf = fat_tree.path_between(0, 15)
+    assert same_leaf.external_router_count == 1
+    assert cross_leaf.external_router_count == 3
+    assert cross_leaf.one_way_latency_ns(64) > same_leaf.one_way_latency_ns(64)
+
+
+def test_event_fabric_builds_over_routed_topologies():
+    # Regression: switches used to be built only for compute nodes, so
+    # wiring the router links of star/fat-tree topologies crashed.
+    for config in (VeniceConfig(num_nodes=4, topology="star"),
+                   VeniceConfig(num_nodes=8, topology="fat_tree")):
+        system = VeniceSystem.build(config)
+        fabric = system.build_event_fabric()
+        assert set(fabric.switches) == set(system.topology.nodes)
+        # Every compute node is reachable from every switch.
+        for node_id, switch in fabric.switches.items():
+            for destination in system.topology.compute_nodes:
+                if destination != node_id:
+                    assert switch.routing_table.lookup(destination) is not None
+
+
 def test_path_between_reflects_topology_distance(mesh_config):
     system = VeniceSystem.build(mesh_config)
     near = system.path_between(0, 1)

@@ -8,7 +8,8 @@ from repro.experiments.cli import EXPERIMENTS, available_experiments, main, run_
 def test_every_paper_result_has_an_experiment_id():
     ids = available_experiments()
     assert {"fig03", "fig05", "fig06", "fig14", "fig15",
-            "fig16a", "fig16b", "fig17", "fig18", "hwcost"} <= set(ids)
+            "fig16a", "fig16b", "fig17", "fig18", "cluster",
+            "hwcost"} <= set(ids)
 
 
 def test_run_experiment_returns_a_report():

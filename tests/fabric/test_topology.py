@@ -5,6 +5,7 @@ import pytest
 from repro.fabric.topology import (
     Topology,
     build_direct_pair,
+    build_fat_tree,
     build_mesh3d,
     build_star,
     dimension_order_route,
@@ -59,6 +60,44 @@ def test_star_topology_routes_through_router():
 def test_star_requires_two_nodes():
     with pytest.raises(ValueError):
         build_star(1)
+
+
+def test_fat_tree_two_levels():
+    topo = build_fat_tree(16, leaf_radix=4, num_spines=2)
+    topo.validate()
+    assert topo.compute_nodes == list(range(16))
+    # Four leaves plus two spines.
+    assert len(topo.router_nodes) == 6
+    # Same-leaf pairs: two links, one router crossed.
+    assert topo.hop_count(0, 1) == 2
+    assert topo.router_crossings(0, 1) == 1
+    # Cross-leaf pairs: four links through leaf -> spine -> leaf.
+    assert topo.hop_count(0, 15) == 4
+    assert topo.router_crossings(0, 15) == 3
+    assert topo.router_crossings(0, 0) == 0
+
+
+def test_fat_tree_single_leaf_has_no_spines():
+    topo = build_fat_tree(3, leaf_radix=4)
+    topo.validate()
+    assert len(topo.router_nodes) == 1
+    assert topo.hop_count(0, 2) == 2
+    assert topo.diameter() == 2
+
+
+def test_fat_tree_rejects_degenerate_shapes():
+    with pytest.raises(ValueError):
+        build_fat_tree(1)
+    with pytest.raises(ValueError):
+        build_fat_tree(8, leaf_radix=0)
+    with pytest.raises(ValueError):
+        build_fat_tree(8, num_spines=0)
+
+
+def test_router_crossings_on_star():
+    topo = build_star(4)
+    assert topo.router_crossings(0, 1) == 1
+    assert topo.router_crossings(0, 0) == 0
 
 
 def test_next_hop_on_mesh():

@@ -59,6 +59,42 @@ def test_run_until_stops_at_deadline(sim):
     assert fired == ["early", "late"]
 
 
+def test_run_until_advances_clock_when_queue_drains_early(sim):
+    sim.schedule(100, lambda: None)
+    # The clock ends at the deadline regardless of whether later events
+    # happen to exist in the queue.
+    assert sim.run(until=200) == 200
+    assert sim.now == 200
+
+
+def test_run_until_in_the_past_never_moves_clock_backwards(sim):
+    fired = []
+    sim.schedule(100, fired.append, "first")
+    sim.schedule(500, fired.append, "second")
+    sim.run(until=200)
+    assert sim.now == 200
+    # A deadline earlier than the current time must not rewind the clock.
+    sim.run(until=50)
+    assert sim.now == 200
+    assert fired == ["first"]
+    sim.run_until_idle()
+    assert fired == ["first", "second"]
+
+
+def test_max_events_budget_is_exact(sim):
+    fired = []
+    for index in range(5):
+        sim.schedule(index * 10, fired.append, index)
+    # max_events=N must allow exactly N callbacks, not N+1.
+    with pytest.raises(SimulationError):
+        sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.events_processed == 3
+    # A budget equal to the queue length completes without raising.
+    assert sim.run(max_events=2) == 40
+    assert fired == [0, 1, 2, 3, 4]
+
+
 def test_cancel_prevents_execution(sim):
     fired = []
     call = sim.schedule(100, fired.append, "cancelled")

@@ -79,6 +79,47 @@ def test_store_fifo_order(sim):
     assert seen == [0, 1, 2, 3, 4]
 
 
+def test_store_putters_admitted_fifo_under_capacity_pressure(sim):
+    store = Store(sim, capacity=1)
+    admitted = []
+
+    def producer(name, start):
+        yield Delay(start)
+        yield store.put(name)
+        admitted.append((name, sim.now))
+
+    def consumer():
+        for _ in range(4):
+            yield Delay(100)
+            yield store.get()
+
+    # "seed" fills the store at t=0; the three late producers block in
+    # arrival order and must be admitted strictly FIFO as slots drain.
+    for name, start in (("seed", 0), ("a", 1), ("b", 2), ("c", 3)):
+        Process(sim, producer(name, start))
+    Process(sim, consumer())
+    sim.run_until_idle()
+    assert [name for name, _ in admitted] == ["seed", "a", "b", "c"]
+    # Blocked putters complete exactly when the consumer frees a slot.
+    assert [when for _, when in admitted[1:]] == [100, 200, 300]
+
+
+def test_store_getters_served_fifo_while_empty(sim):
+    store = Store(sim)
+    served = []
+
+    def getter(name):
+        value = yield store.get()
+        served.append((name, value))
+
+    for name in ("first", "second", "third"):
+        Process(sim, getter(name))
+    for value in range(3):
+        store.put(value)
+    sim.run_until_idle()
+    assert served == [("first", 0), ("second", 1), ("third", 2)]
+
+
 def test_store_try_put_and_try_get(sim):
     store = Store(sim, capacity=1)
     assert store.try_put("x") is True
@@ -146,6 +187,30 @@ def test_resource_available_accounting(sim):
     assert resource.available == 3
 
 
+def test_resource_release_direct_handoff_keeps_unit_in_use(sim):
+    resource = Resource(sim, capacity=1)
+    resource.acquire()
+    grants = []
+
+    def waiter():
+        yield resource.acquire()
+        grants.append(sim.now)
+
+    Process(sim, waiter())
+    sim.run_until_idle()
+    assert grants == []
+    # Releasing with a queued waiter hands the unit over directly: it
+    # never becomes available, so in_use/available must not change.
+    resource.release()
+    sim.run_until_idle()
+    assert grants == [0]
+    assert resource.in_use == 1
+    assert resource.available == 0
+    resource.release()
+    assert resource.in_use == 0
+    assert resource.available == 1
+
+
 # ----------------------------------------------------------------------
 # CreditPool
 # ----------------------------------------------------------------------
@@ -181,6 +246,28 @@ def test_credit_pool_never_exceeds_maximum(sim):
     pool = CreditPool(sim, initial=2, maximum=3)
     pool.replenish(10)
     assert pool.available == 3
+
+
+def test_credit_replenish_grants_waiters_before_clamping(sim):
+    # Two senders are owed 4 credits in total against maximum=2.  A bulk
+    # replenish must serve both before clamping; the buggy order clamped
+    # to 2 first and silently destroyed the second sender's credits.
+    pool = CreditPool(sim, initial=0, maximum=2)
+    got = []
+
+    def taker(name):
+        yield pool.take(2)
+        got.append(name)
+
+    Process(sim, taker("a"))
+    Process(sim, taker("b"))
+    sim.run_until_idle()
+    pool.replenish(4)
+    sim.run_until_idle()
+    assert got == ["a", "b"]
+    assert pool.pending_waiters() == 0
+    assert pool.available == 0
+    assert pool.total_taken == pool.total_replenished == 4
 
 
 def test_credit_take_more_than_maximum_raises(sim):
