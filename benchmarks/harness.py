@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Events/sec benchmark harness for the simulation engine.
+
+Drives the full event-driven fabric (PHY + datalink + switch stacks
+built by :meth:`VeniceSystem.build_event_fabric`) with deterministic
+traffic over three topologies -- a directly connected pair, an 8-node
+star, and a 16-node fat-tree -- and reports engine throughput as
+*events per second of wall clock* plus total wall time per workload.
+
+The workloads are budget-based (a fixed number of packets injected, the
+run ends when the event queue drains), so the simulated work is
+byte-identical across engine versions; only the wall clock changes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/harness.py                 # print table
+    PYTHONPATH=src python benchmarks/harness.py --json BENCH_engine.json \
+        --baseline old.json                                      # write report
+    PYTHONPATH=src python benchmarks/harness.py --workload fat_tree \
+        --min-events-per-sec 150000                              # CI smoke gate
+
+See ``benchmarks/README.md`` for the BENCH_engine.json schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import VeniceConfig
+from repro.core.system import VeniceSystem
+from repro.fabric.packet import Packet, PacketKind
+from repro.sim.rng import DeterministicRNG
+
+SCHEMA = "bench-engine/v1"
+
+#: Workload id -> (VeniceConfig factory kwargs, packets injected per
+#: compute node per round, rounds).  Rounds stagger injections in
+#: simulated time so flow control engages without livelocking.
+WORKLOADS: Dict[str, dict] = {
+    "pair": dict(num_nodes=2, topology="direct_pair",
+                 packets_per_node=1600, rounds=4),
+    "star": dict(num_nodes=8, topology="star",
+                 packets_per_node=300, rounds=4),
+    "fat_tree": dict(num_nodes=16, topology="fat_tree",
+                     packets_per_node=160, rounds=4),
+}
+
+#: Gap between injection rounds, ns (lets queues partially drain so the
+#: workload exercises both contended and draining regimes).
+ROUND_GAP_NS = 200_000
+
+PAYLOAD_BYTES = 64
+
+
+@dataclass
+class WorkloadResult:
+    """One workload's measured engine throughput."""
+
+    workload: str
+    packets: int
+    delivered: int
+    events: int
+    sim_ns: int
+    wall_s: float
+    events_per_sec: float
+
+    def to_dict(self) -> dict:
+        return {
+            "packets": self.packets,
+            "delivered": self.delivered,
+            "events": self.events,
+            "sim_ns": self.sim_ns,
+            "wall_s": round(self.wall_s, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+        }
+
+
+def build_fabric(workload: str):
+    """System + event fabric + delivery-counting sinks for one workload."""
+    spec = WORKLOADS[workload]
+    kwargs = {"num_nodes": spec["num_nodes"], "topology": spec["topology"]}
+    system = VeniceSystem.build(VeniceConfig(**kwargs))
+    fabric = system.build_event_fabric()
+    delivered: List[int] = [0]
+    for switch in fabric.switches.values():
+        switch.attach_local_sink(
+            lambda packet: delivered.__setitem__(0, delivered[0] + 1))
+    return system, fabric, delivered
+
+
+def inject_traffic(system, fabric, workload: str, packets_per_node: int,
+                   seed: int = 2016) -> int:
+    """Schedule deterministic all-to-all traffic; returns packets injected.
+
+    Each compute node sends to destinations chosen by a seeded RNG, in
+    ``rounds`` bursts separated by ``ROUND_GAP_NS`` of simulated time.
+    """
+    spec = WORKLOADS[workload]
+    rounds = spec["rounds"]
+    rng = DeterministicRNG(seed)
+    compute = system.topology.compute_nodes
+    per_round = max(1, packets_per_node // rounds)
+    injected = 0
+    for round_index in range(rounds):
+        at = round_index * ROUND_GAP_NS
+        for src in compute:
+            for _ in range(per_round):
+                dst = rng.choice([node for node in compute if node != src])
+                packet = Packet(src=src, dst=dst, kind=PacketKind.QPAIR_DATA,
+                                payload_bytes=PAYLOAD_BYTES)
+                fabric.sim.schedule_at(at, fabric.switches[src].inject, packet)
+                injected += 1
+    return injected
+
+
+def run_workload(workload: str, packets_per_node: Optional[int] = None,
+                 seed: int = 2016) -> WorkloadResult:
+    """Build, inject and run one workload under the wall-clock timer."""
+    spec = WORKLOADS[workload]
+    per_node = packets_per_node or spec["packets_per_node"]
+    system, fabric, delivered = build_fabric(workload)
+    injected = inject_traffic(system, fabric, workload, per_node, seed=seed)
+    start = time.perf_counter()
+    fabric.sim.run_until_idle()
+    wall = time.perf_counter() - start
+    events = fabric.sim.events_processed
+    return WorkloadResult(
+        workload=workload,
+        packets=injected,
+        delivered=delivered[0],
+        events=events,
+        sim_ns=fabric.sim.now,
+        wall_s=wall,
+        events_per_sec=events / wall if wall > 0 else 0.0,
+    )
+
+
+def run_all(packets_per_node: Optional[int] = None,
+            workloads: Optional[List[str]] = None,
+            repeats: int = 1) -> Dict[str, WorkloadResult]:
+    """Run the selected workloads, keeping the best of ``repeats`` runs."""
+    results: Dict[str, WorkloadResult] = {}
+    for workload in workloads or list(WORKLOADS):
+        best: Optional[WorkloadResult] = None
+        for _ in range(max(1, repeats)):
+            result = run_workload(workload, packets_per_node)
+            if best is None or result.events_per_sec > best.events_per_sec:
+                best = result
+        results[workload] = best
+    return results
+
+
+def make_report(results: Dict[str, WorkloadResult],
+                baseline: Optional[dict] = None,
+                label: str = "current") -> dict:
+    """Assemble the BENCH_engine.json document."""
+    report = {
+        "schema": SCHEMA,
+        "label": label,
+        "workloads": {name: result.to_dict()
+                      for name, result in results.items()},
+    }
+    if baseline is not None:
+        base_workloads = baseline.get("workloads", baseline)
+        report["baseline"] = {
+            "label": baseline.get("label", "baseline"),
+            "workloads": base_workloads,
+        }
+        speedup = {}
+        for name, result in results.items():
+            base = base_workloads.get(name, {}).get("events_per_sec")
+            if base:
+                speedup[name] = round(result.events_per_sec / base, 2)
+        report["speedup_events_per_sec"] = speedup
+    return report
+
+
+def print_table(report: dict) -> None:
+    rows = [("workload", "events", "wall_s", "events/sec", "speedup")]
+    speedups = report.get("speedup_events_per_sec", {})
+    for name, data in report["workloads"].items():
+        rows.append((name, str(data["events"]), f"{data['wall_s']:.3f}",
+                     f"{data['events_per_sec']:,.0f}",
+                     f"{speedups[name]:.2f}x" if name in speedups else "-"))
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", action="append", choices=list(WORKLOADS),
+                        help="workload(s) to run (default: all)")
+    parser.add_argument("--packets-per-node", type=int, default=None,
+                        help="override per-node packet budget (all workloads)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="runs per workload; the best events/sec is kept")
+    parser.add_argument("--label", default="current",
+                        help="label recorded in the JSON report")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the report as JSON to PATH")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="baseline JSON to compute speedups against")
+    parser.add_argument("--min-events-per-sec", type=float, default=None,
+                        help="exit non-zero if any selected workload falls "
+                             "below this floor (CI smoke gate)")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+
+    results = run_all(packets_per_node=args.packets_per_node,
+                      workloads=args.workload, repeats=args.repeats)
+    report = make_report(results, baseline=baseline, label=args.label)
+    print_table(report)
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.min_events_per_sec is not None:
+        slow = {name: result.events_per_sec
+                for name, result in results.items()
+                if result.events_per_sec < args.min_events_per_sec}
+        if slow:
+            for name, eps in slow.items():
+                print(f"FAIL: {name} ran at {eps:,.0f} events/sec, below the "
+                      f"floor of {args.min_events_per_sec:,.0f}", file=sys.stderr)
+            return 1
+        print(f"floor check passed (>= {args.min_events_per_sec:,.0f} events/sec)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

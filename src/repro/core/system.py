@@ -10,7 +10,7 @@ observe contention rather than just closed-form latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.channels.crma import CrmaChannel, CrmaRemoteBackend
@@ -214,11 +214,22 @@ class VeniceSystem:
         switch is left unconnected; callers attach their own packet
         consumers.
         """
-        sim = sim or Simulator()
-        switches: Dict[int, Switch] = {
-            node_id: Switch(sim, node_id, self.config.fabric.switch)
-            for node_id in self.topology.nodes
-        }
+        # Simulator defines __len__, so an idle simulator is falsy --
+        # test for None, never truthiness.
+        if sim is None:
+            sim = Simulator()
+        # Router nodes (star hubs, fat-tree leaves/spines) can have more
+        # neighbours than the compute nodes' embedded radix-7 switch; give
+        # every switch enough ports for its topology degree + local ejection.
+        base_switch = self.config.fabric.switch
+        switches: Dict[int, Switch] = {}
+        for node_id in self.topology.nodes:
+            degree = self.topology.graph.degree(node_id)
+            if degree + 1 > base_switch.radix:
+                switch_config = replace(base_switch, radix=degree + 1)
+            else:
+                switch_config = base_switch
+            switches[node_id] = Switch(sim, node_id, switch_config)
         links: Dict[Tuple[int, int], PhysicalLink] = {}
         datalinks: Dict[Tuple[int, int], DataLink] = {}
         port_counters = {node_id: 1 for node_id in switches}  # port 0 = local

@@ -19,6 +19,7 @@ from repro.experiments.fig15_remote_memory import run_fig15
 from repro.experiments.fig16_accel_nic import run_fig16a, run_fig16b
 from repro.experiments.fig17_channels import run_fig17
 from repro.experiments.fig18_flow_control import run_fig18
+from repro.experiments.fig_cluster_contention import run_fig_cluster_contention
 from repro.experiments.fig_cluster_scaling import run_fig_cluster_scaling
 from repro.experiments.hardware_cost import run_hardware_cost
 
@@ -35,6 +36,8 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig18": ("credit flow control over CRMA", run_fig18),
     "cluster": ("N-node cluster scaling over the fat-tree fabric",
                 run_fig_cluster_scaling),
+    "contention": ("queueing delay under cross-traffic on the event fabric",
+                   run_fig_cluster_contention),
     "hwcost": ("Section 7.3 hardware cost", run_hardware_cost),
 }
 
@@ -89,3 +92,7 @@ def main(argv: List[str] = None) -> int:
         print(report.to_text())
         print()
     return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    raise SystemExit(main())

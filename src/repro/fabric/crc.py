@@ -16,16 +16,30 @@ CRC16_POLY = 0x1021
 CRC16_INIT = 0xFFFF
 
 
-def crc16(data: bytes, initial: int = CRC16_INIT) -> int:
-    """Compute CRC-16/CCITT-FALSE over ``data``."""
-    crc = initial
-    for byte in data:
-        crc ^= byte << 8
+def _build_table() -> tuple:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
         for _ in range(8):
             if crc & 0x8000:
                 crc = ((crc << 1) ^ CRC16_POLY) & 0xFFFF
             else:
                 crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return tuple(table)
+
+
+#: Byte-indexed lookup table; one table step replaces eight bit steps on
+#: the per-packet receive path.
+_CRC16_TABLE = _build_table()
+
+
+def crc16(data: bytes, initial: int = CRC16_INIT) -> int:
+    """Compute CRC-16/CCITT-FALSE over ``data``."""
+    crc = initial
+    table = _CRC16_TABLE
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ table[(crc >> 8) ^ byte]
     return crc
 
 

@@ -92,7 +92,12 @@ class Switch:
         self.name = name or f"switch{node_id}"
         self.routing_table = RoutingTable()
         self.stats = StatsRegistry(self.name)
+        (self._ctr_switched, self._ctr_ejected,
+         self._ctr_unroutable) = self.stats.bind_counters(
+            "packets_switched", "packets_ejected", "packets_unroutable")
         self._output_links: Dict[int, DataLink] = {}
+        #: Per-port forwarded counters, bound when the port is attached.
+        self._port_counters: Dict[int, object] = {}
         self._local_sink: Optional[Callable[[Packet], None]] = None
 
     def attach_output(self, port: int, datalink: DataLink) -> None:
@@ -102,6 +107,7 @@ class Switch:
         if port < 0 or port >= self.config.radix:
             raise ValueError(f"port {port} outside switch radix {self.config.radix}")
         self._output_links[port] = datalink
+        self._port_counters[port] = self.stats.counter(f"port{port}_forwarded")
 
     def attach_local_sink(self, sink: Callable[[Packet], None]) -> None:
         """Attach the transport-layer receive path of this node."""
@@ -113,8 +119,8 @@ class Switch:
 
     def inject(self, packet: Packet) -> None:
         """Accept a packet from the local transport layer or a neighbour."""
-        self.stats.counter("packets_switched").increment()
-        self.sim.schedule(self.config.forwarding_latency_ns, self._route, packet)
+        self._ctr_switched.value += 1
+        self.sim.call_after(self.config.forwarding_latency_ns, self._route, packet)
 
     def _route(self, packet: Packet) -> None:
         if packet.dst == self.node_id:
@@ -123,20 +129,20 @@ class Switch:
         try:
             entry = self.routing_table.lookup(packet.dst)
         except RoutingError:
-            self.stats.counter("packets_unroutable").increment()
+            self._ctr_unroutable.value += 1
             raise
         datalink = self._output_links.get(entry.out_port)
         if datalink is None:
-            self.stats.counter("packets_unroutable").increment()
+            self._ctr_unroutable.value += 1
             raise RoutingError(
                 f"{self.name}: route to node {packet.dst} uses unattached port "
                 f"{entry.out_port}"
             )
-        self.stats.counter(f"port{entry.out_port}_forwarded").increment()
+        self._port_counters[entry.out_port].value += 1
         datalink.send_and_forget(packet)
 
     def _eject(self, packet: Packet) -> None:
-        self.stats.counter("packets_ejected").increment()
+        self._ctr_ejected.value += 1
         if self._local_sink is None:
             self.stats.counter("packets_dropped_no_sink").increment()
             return

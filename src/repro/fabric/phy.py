@@ -10,11 +10,11 @@ and ``extra_delay_ns`` knobs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
 
 from repro.sim.engine import Simulator
-from repro.sim.process import Delay, Process, SimEvent
+from repro.sim.process import Process, SimEvent
 from repro.sim.resources import Store
 from repro.sim.rng import DeterministicRNG
 from repro.sim.stats import StatsRegistry
@@ -38,12 +38,31 @@ class LinkConfig:
     bit_error_rate: float = 0.0
     queue_capacity: int = 64
 
+    #: Memo of wire_bytes -> serialization time.  Traffic clusters into a
+    #: handful of packet size classes, so every size is computed once and
+    #: then answered from the dict; the cache invalidates itself when
+    #: ``bandwidth_gbps`` is reassigned (experiments mutate configs).
+    _serialization_cache: Dict[int, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _cache_bandwidth: float = field(
+        default=0.0, init=False, repr=False, compare=False)
+
     def serialization_ns(self, wire_bytes: int) -> int:
-        """Time to clock ``wire_bytes`` onto the link."""
+        """Time to clock ``wire_bytes`` onto the link (memoized)."""
+        if self._cache_bandwidth != self.bandwidth_gbps:
+            self._serialization_cache.clear()
+            self._cache_bandwidth = self.bandwidth_gbps
+        cache = self._serialization_cache
+        try:
+            return cache[wire_bytes]
+        except KeyError:
+            pass
         if wire_bytes <= 0:
-            return 0
-        bits = wire_bytes * 8
-        return max(1, int(round(bits / self.bandwidth_gbps)))
+            value = 0
+        else:
+            value = max(1, int(round(wire_bytes * 8 / self.bandwidth_gbps)))
+        cache[wire_bytes] = value
+        return value
 
     def packet_latency_ns(self, wire_bytes: int) -> int:
         """Uncontended one-way latency for a packet of ``wire_bytes``."""
@@ -67,6 +86,10 @@ class PhysicalLink:
         self.name = name
         self.rng = rng or DeterministicRNG(0)
         self.stats = StatsRegistry(name)
+        (self._ctr_offered, self._ctr_busy_ns, self._ctr_sent,
+         self._ctr_bytes, self._ctr_corrupted) = self.stats.bind_counters(
+            "packets_offered", "busy_ns", "packets_sent", "bytes_sent",
+            "packets_corrupted")
         self._queue: Store = Store(sim, capacity=config.queue_capacity, name=f"{name}.txq")
         self._sink: Optional[Callable[[Packet], None]] = None
         self._pump = Process(sim, self._transmit_loop(), name=f"{name}.pump")
@@ -81,33 +104,36 @@ class PhysicalLink:
         The returned event fires when the packet has been accepted into
         the transmit queue (backpressure point for upper layers).
         """
-        self.stats.counter("packets_offered").increment()
+        self._ctr_offered.value += 1
         return self._queue.put(packet)
 
     def busy_fraction(self) -> float:
         """Fraction of elapsed time the link spent serializing packets."""
-        busy = self.stats.counter("busy_ns").value
         if self.sim.now == 0:
             return 0.0
-        return busy / self.sim.now
+        return self._ctr_busy_ns.value / self.sim.now
 
     def _transmit_loop(self):
+        config = self.config
+        queue_get = self._queue.get
+        serialization_ns = config.serialization_ns
         while True:
-            packet = yield self._queue.get()
-            serialization = self.config.serialization_ns(packet.wire_bytes)
-            self.stats.counter("busy_ns").increment(serialization)
-            yield Delay(serialization)
-            self.stats.counter("packets_sent").increment()
-            self.stats.counter("bytes_sent").increment(packet.wire_bytes)
-            if self.config.bit_error_rate > 0.0:
+            packet = yield queue_get()
+            wire_bytes = packet.wire_bytes
+            serialization = serialization_ns(wire_bytes)
+            self._ctr_busy_ns.value += serialization
+            yield serialization
+            self._ctr_sent.value += 1
+            self._ctr_bytes.value += wire_bytes
+            if config.bit_error_rate > 0.0:
                 error_probability = min(
-                    1.0, self.config.bit_error_rate * packet.wire_bytes * 8
+                    1.0, config.bit_error_rate * wire_bytes * 8
                 )
                 if self.rng.bernoulli(error_probability):
                     packet.corrupted = True
-                    self.stats.counter("packets_corrupted").increment()
-            delivery_delay = self.config.phy_latency_ns + self.config.extra_delay_ns
-            self.sim.schedule(delivery_delay, self._deliver, packet)
+                    self._ctr_corrupted.increment()
+            delivery_delay = config.phy_latency_ns + config.extra_delay_ns
+            self.sim.call_after(delivery_delay, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         packet.hops += 1

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.sim.engine import Simulator
-from repro.sim.process import Delay, Process
+from repro.sim.process import Process
 from repro.sim.resources import Store
 from repro.sim.stats import StatsRegistry
 from repro.fabric.packet import Packet
@@ -51,6 +51,10 @@ class ExternalRouter:
         self.config = config or RouterConfig()
         self.name = name
         self.stats = StatsRegistry(name)
+        (self._ctr_received, self._ctr_dropped, self._ctr_unroutable,
+         self._ctr_forwarded) = self.stats.bind_counters(
+            "packets_received", "packets_dropped", "packets_unroutable",
+            "packets_forwarded")
         self._ingress: Store = Store(sim, capacity=self.config.port_buffer_packets,
                                      name=f"{name}.ingress")
         self._downlinks: Dict[int, PhysicalLink] = {}
@@ -69,9 +73,9 @@ class ExternalRouter:
 
     def receive(self, packet: Packet) -> None:
         """Ingress callback for node-to-router links."""
-        self.stats.counter("packets_received").increment()
+        self._ctr_received.value += 1
         if not self._ingress.try_put(packet):
-            self.stats.counter("packets_dropped").increment()
+            self._ctr_dropped.value += 1
 
     def added_latency_ns(self, wire_bytes: int) -> int:
         """Extra one-way latency a packet pays by crossing this router."""
@@ -79,12 +83,15 @@ class ExternalRouter:
         return self.config.forwarding_latency_ns + extra_phy
 
     def _forward_loop(self):
+        forwarding_latency = self.config.forwarding_latency_ns
+        ingress_get = self._ingress.get
+        downlinks = self._downlinks
         while True:
-            packet = yield self._ingress.get()
-            yield Delay(self.config.forwarding_latency_ns)
-            downlink = self._downlinks.get(packet.dst)
+            packet = yield ingress_get()
+            yield forwarding_latency
+            downlink = downlinks.get(packet.dst)
             if downlink is None:
-                self.stats.counter("packets_unroutable").increment()
+                self._ctr_unroutable.value += 1
                 continue
-            self.stats.counter("packets_forwarded").increment()
+            self._ctr_forwarded.value += 1
             yield downlink.send(packet)

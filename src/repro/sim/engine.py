@@ -3,34 +3,51 @@
 The :class:`Simulator` owns the virtual clock and a priority queue of
 scheduled callbacks.  Higher-level abstractions (processes, resources)
 are built on top of :meth:`Simulator.schedule`.
+
+Hot-path design notes
+---------------------
+Queue entries are plain lists ``[time, seq, callback, args]`` rather
+than objects with an ``__lt__`` method: ``heapq`` then compares entries
+with C-level list comparison (time first, then the unique sequence
+number, never reaching the callback), which removes a Python-level
+method call per heap comparison.
+
+Zero-delay events -- process resumes, event wake-ups and other
+callbacks scheduled *at the current timestamp while it is being
+processed* -- bypass the heap entirely and go to a FIFO *ready* deque.
+This preserves the global (time, seq) execution order: every heap entry
+due at the current timestamp was created strictly earlier (the clock
+had not reached that time yet) and therefore carries a smaller sequence
+number than any ready entry, so draining heap entries at the current
+time first and the ready deque second is exactly seq order.
+
+Cancellation clears the callback slot in place (``entry[2] = None``);
+cancelled entries are purged lazily when they surface, and
+:meth:`drain_cancelled` compacts eagerly when cancellations pile up.
+:meth:`run` dispatches in a single pass -- one traversal per event
+instead of the previous ``peek()`` + ``step()`` pair -- and batches
+same-timestamp callbacks without re-checking the deadline between them.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from collections import deque
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Deque, List, Optional
+
+#: Queue-entry field indices.  Entries are ``[time, seq, callback, args,
+#: single]``: ``single`` is True when ``args`` is one bare positional
+#: argument (the trampoline fast paths), False when it is a tuple.
+_TIME, _SEQ, _CALLBACK, _ARGS, _SINGLE = 0, 1, 2, 3, 4
+
+#: ``drain_cancelled`` runs automatically once at least this many
+#: cancelled entries are buried in the queues *and* they outnumber the
+#: live entries (see :meth:`Simulator.cancel`).
+_AUTO_DRAIN_MIN_CANCELLED = 512
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an invalid state."""
-
-
-class _ScheduledCall:
-    """A single callback scheduled at a point in simulated time."""
-
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
-
-    def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-
-    def __lt__(self, other: "_ScheduledCall") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
 
 
 class Simulator:
@@ -43,9 +60,11 @@ class Simulator:
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
-        self._queue: List[_ScheduledCall] = []
+        self._queue: List[list] = []
+        self._ready: Deque[list] = deque()
         self._running = False
         self._event_count = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> int:
@@ -57,34 +76,143 @@ class Simulator:
         """Total number of callbacks executed so far."""
         return self._event_count
 
-    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> _ScheduledCall:
-        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+    def __len__(self) -> int:
+        """Pending queue entries, including not-yet-purged cancellations."""
+        return len(self._queue) + len(self._ready)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> list:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now.
+
+        Returns an opaque handle accepted by :meth:`cancel`.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + int(delay), callback, *args)
+        entry = [self._now + int(delay), self._seq, callback, args, False]
+        self._seq += 1
+        if delay == 0:
+            self._ready.append(entry)
+        else:
+            heappush(self._queue, entry)
+        return entry
 
-    def schedule_at(self, time: int, callback: Callable[..., None], *args: Any) -> _ScheduledCall:
+    def schedule_at(self, time: int, callback: Callable[..., None], *args: Any) -> list:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        call = _ScheduledCall(int(time), self._seq, callback, args)
+        entry = [int(time), self._seq, callback, args, False]
         self._seq += 1
-        heapq.heappush(self._queue, call)
-        return call
+        if time == self._now:
+            self._ready.append(entry)
+        else:
+            heappush(self._queue, entry)
+        return entry
 
-    def cancel(self, call: _ScheduledCall) -> None:
-        """Cancel a previously scheduled callback (lazy removal)."""
-        call.cancelled = True
+    def call_soon(self, callback: Callable[..., None], value: Any = None) -> list:
+        """Fast path: run ``callback(value)`` at the current timestamp.
+
+        Used by the process/event trampoline for resume and wake-up
+        callbacks whose delay is always zero; skips delay validation and
+        the heap.
+        """
+        entry = [self._now, self._seq, callback, value, True]
+        self._seq += 1
+        self._ready.append(entry)
+        return entry
+
+    def call_after(self, delay: int, callback: Callable[..., None],
+                   value: Any = None) -> list:
+        """Fast path: run ``callback(value)`` after ``delay`` ns.
+
+        Internal engine/trampoline entry point: a single positional
+        argument is stored bare (no tuple) and no ``int`` coercion is
+        performed.  Negative delays still raise -- a silent backwards
+        clock would corrupt event ordering -- the guard merely folds
+        into the queue-selection branch.
+        """
+        entry = [self._now + delay, self._seq, callback, value, True]
+        self._seq += 1
+        if delay > 0:
+            heappush(self._queue, entry)
+        elif delay == 0:
+            self._ready.append(entry)
+        else:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return entry
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, handle: list) -> None:
+        """Cancel a previously scheduled callback (lazy removal).
+
+        Cancelling a handle whose callback already executed is a no-op
+        (the dispatch loop marks entries spent).  A live cancelled entry
+        stays queued until it either surfaces or an automatic or
+        explicit :meth:`drain_cancelled` compacts the queue, so
+        long-lived runs with many cancelled timers do not grow the heap
+        without bound.
+        """
+        if handle[_CALLBACK] is not None:
+            handle[_CALLBACK] = None
+            handle[_ARGS] = None
+            self._cancelled += 1
+            if (self._cancelled >= _AUTO_DRAIN_MIN_CANCELLED
+                    and self._cancelled * 2 >= len(self._queue) + len(self._ready)):
+                self.drain_cancelled()
+
+    def is_cancelled(self, handle: list) -> bool:
+        """True if ``handle`` is spent: cancelled or already executed."""
+        return handle[_CALLBACK] is None
+
+    def drain_cancelled(self) -> int:
+        """Eagerly remove every cancelled entry from the queues.
+
+        Returns the number of entries removed.  ``run``/``step`` purge
+        cancelled entries lazily when they reach the front; this
+        compaction keeps the heap small when many timers are cancelled
+        long before their deadline (retry timers, watchdogs).
+        """
+        before = len(self._queue) + len(self._ready)
+        # Compact in place: run() holds direct references to both
+        # containers, so they must never be rebound mid-run.
+        self._queue[:] = [entry for entry in self._queue
+                          if entry[_CALLBACK] is not None]
+        heapify(self._queue)
+        if self._ready:
+            live = [entry for entry in self._ready
+                    if entry[_CALLBACK] is not None]
+            self._ready.clear()
+            self._ready.extend(live)
+        self._cancelled = 0
+        return before - len(self._queue) - len(self._ready)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _purge(self) -> None:
+        """Drop cancelled entries from the front of both queues."""
+        queue = self._queue
+        while queue and queue[0][_CALLBACK] is None:
+            heappop(queue)
+            self._cancelled -= 1
+        ready = self._ready
+        while ready and ready[0][_CALLBACK] is None:
+            ready.popleft()
+            self._cancelled -= 1
 
     def peek(self) -> Optional[int]:
         """Return the timestamp of the next pending event, or ``None``."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
-            return None
-        return self._queue[0].time
+        self._purge()
+        if self._ready:
+            return self._now
+        if self._queue:
+            return self._queue[0][_TIME]
+        return None
 
     def step(self) -> bool:
         """Execute the next scheduled callback.
@@ -92,15 +220,33 @@ class Simulator:
         Returns ``True`` if a callback was executed, ``False`` if the
         queue was empty.
         """
-        while self._queue:
-            call = heapq.heappop(self._queue)
-            if call.cancelled:
+        while True:
+            self._purge()
+            queue = self._queue
+            if self._ready:
+                # Heap entries due at the current time predate every
+                # ready entry (see module docstring) and so run first.
+                if queue and queue[0][_TIME] <= self._now:
+                    entry = heappop(queue)
+                else:
+                    entry = self._ready.popleft()
+            elif queue:
+                entry = heappop(queue)
+            else:
+                return False
+            callback = entry[_CALLBACK]
+            if callback is None:
+                self._cancelled -= 1
                 continue
-            self._now = call.time
+            # Mark the entry spent so a late cancel() is a no-op.
+            entry[_CALLBACK] = None
+            self._now = entry[_TIME]
             self._event_count += 1
-            call.callback(*call.args)
+            if entry[_SINGLE]:
+                callback(entry[_ARGS])
+            else:
+                callback(*entry[_ARGS])
             return True
-        return False
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the event queue empties or a limit is reached.
@@ -126,21 +272,71 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
+        queue = self._queue
+        ready = self._ready
+        pop = heappop
+        popleft = ready.popleft
         executed = 0
+        # ``budget`` is the number of callbacks still allowed; negative
+        # means unlimited.  Checked before each dispatch so the limit is
+        # exact and the over-budget event stays queued.
+        budget = -1 if max_events is None else max_events
+        deadline = float("inf") if until is None else until
+        now = self._now
         try:
-            while True:
-                next_time = self.peek()
-                if next_time is None or (until is not None and next_time > until):
-                    if until is not None:
-                        self._now = max(until, self._now)
-                    break
-                if max_events is not None and executed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; possible livelock"
-                    )
-                if not self.step():
+            while now <= deadline:
+                if ready:
+                    # Heap entries due now predate the ready entries.
+                    if queue and queue[0][_TIME] <= now:
+                        if queue[0][_CALLBACK] is None:
+                            pop(queue)
+                            self._cancelled -= 1
+                            continue
+                        if executed == budget:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; possible livelock"
+                            )
+                        entry = pop(queue)
+                    else:
+                        entry = popleft()
+                        if entry[_CALLBACK] is None:
+                            self._cancelled -= 1
+                            continue
+                        if executed == budget:
+                            ready.appendleft(entry)
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; possible livelock"
+                            )
+                elif queue:
+                    head = queue[0]
+                    if head[_CALLBACK] is None:
+                        pop(queue)
+                        self._cancelled -= 1
+                        continue
+                    time = head[_TIME]
+                    if time > deadline:
+                        break
+                    if executed == budget:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; possible livelock"
+                        )
+                    entry = pop(queue)
+                    now = self._now = time
+                else:
                     break
                 executed += 1
+                # Keep the public counter exact per event, so callbacks
+                # reading events_processed mid-run see live accounting.
+                self._event_count += 1
+                callback = entry[_CALLBACK]
+                # Mark the entry spent so a late cancel() is a no-op.
+                entry[_CALLBACK] = None
+                if entry[_SINGLE]:
+                    callback(entry[_ARGS])
+                else:
+                    callback(*entry[_ARGS])
+            if until is not None and until > self._now:
+                self._now = until
         finally:
             self._running = False
         return self._now

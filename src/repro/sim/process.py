@@ -3,7 +3,7 @@
 A *process* is a Python generator that yields commands telling the
 scheduler what to wait for:
 
-* ``Delay(ns)``                 -- resume after ``ns`` nanoseconds.
+* ``Delay(ns)`` or a bare ``int``  -- resume after that many nanoseconds.
 * ``SimEvent`` / ``WaitEvent``  -- resume when the event is triggered;
   the value passed to :meth:`SimEvent.succeed` becomes the result of
   the ``yield`` expression.
@@ -13,17 +13,31 @@ scheduler what to wait for:
 
 Processes may also ``return`` a value which is delivered to any process
 waiting on them.
+
+Hot-path design notes
+---------------------
+A yield must not allocate beyond its queue entry: hot loops yield bare
+``int`` delays (or a :class:`Delay` hoisted out of the loop -- ``Delay``
+is immutable, so one instance can be yielded repeatedly), the resume
+callback is bound once per process instead of per dispatch, and delays
+validated at ``Delay`` construction go through the engine's
+``call_after`` fast path without re-validation.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List
 
 from repro.sim.engine import SimulationError, Simulator
 
 
 class Delay:
-    """Command: suspend the issuing process for ``duration`` ns."""
+    """Command: suspend the issuing process for ``duration`` ns.
+
+    Immutable after construction; hot paths hoist one instance out of
+    their loop (or yield a bare non-negative ``int``) so that waiting
+    does not allocate.
+    """
 
     __slots__ = ("duration",)
 
@@ -66,14 +80,17 @@ class SimEvent:
             raise SimulationError(f"event {self.name!r} already succeeded")
         self._succeeded = True
         self._value = value
-        waiters, self._waiters = self._waiters, []
-        for waiter in waiters:
-            self.sim.schedule(0, waiter, value)
+        waiters = self._waiters
+        if waiters:
+            call_soon = self.sim.call_soon
+            for waiter in waiters:
+                call_soon(waiter, value)
+            self._waiters = []
 
     def add_waiter(self, callback: Callable[[Any], None]) -> None:
         """Register a callback invoked (via the scheduler) on success."""
         if self._succeeded:
-            self.sim.schedule(0, callback, self._value)
+            self.sim.call_soon(callback, self._value)
         else:
             self._waiters.append(callback)
 
@@ -109,20 +126,30 @@ class Process:
     the process finishes and delivers its return value.
     """
 
-    __slots__ = ("sim", "generator", "name", "finished", "result", "_completion")
+    __slots__ = ("sim", "generator", "name", "finished", "result",
+                 "_completion", "_send", "_resume_cb", "_call_soon",
+                 "_call_after")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
-        if not hasattr(generator, "send"):
+        try:
+            send = generator.send
+        except AttributeError:
             raise TypeError(
                 "Process requires a generator (did you forget to call the function?)"
-            )
+            ) from None
         self.sim = sim
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self.finished = False
         self.result: Any = None
-        self._completion = SimEvent(sim, name=f"{self.name}.done")
-        sim.schedule(0, self._resume, None)
+        self._completion = SimEvent(sim, name=self.name)
+        self._send = send
+        # Bind the resume callback and scheduler entry points once;
+        # every dispatch reuses them instead of re-binding per yield.
+        self._resume_cb = self._resume
+        self._call_soon = sim.call_soon
+        self._call_after = sim.call_after
+        sim.call_soon(self._resume_cb, None)
 
     @property
     def completion(self) -> SimEvent:
@@ -133,11 +160,28 @@ class Process:
         if self.finished:
             return
         try:
-            command = self.generator.send(value)
+            command = self._send(value)
         except StopIteration as stop:
             self._finish(stop.value)
             return
-        self._dispatch(command)
+        # Inline the two dominant dispatch cases (event waits and
+        # delays); everything else takes the generic path.
+        cls = command.__class__
+        if cls is SimEvent:
+            if command._succeeded:
+                self._call_soon(self._resume_cb, command._value)
+            else:
+                command._waiters.append(self._resume_cb)
+        elif cls is Delay:
+            self._call_after(command.duration, self._resume_cb)
+        elif cls is int:
+            if command >= 0:
+                self._call_after(command, self._resume_cb)
+            else:
+                self._throw(SimulationError(
+                    f"process {self.name!r} yielded a negative delay {command}"))
+        else:
+            self._dispatch(command)
 
     def _throw(self, exc: BaseException) -> None:
         if self.finished:
@@ -155,19 +199,35 @@ class Process:
         self._completion.succeed(value)
 
     def _dispatch(self, command: Any) -> None:
-        if isinstance(command, Delay):
-            self.sim.schedule(command.duration, self._resume, None)
-        elif isinstance(command, SimEvent):
-            command.add_waiter(self._resume)
-        elif isinstance(command, Process):
-            command.completion.add_waiter(self._resume)
-        elif isinstance(command, AllOf):
+        # Generic command dispatch; _resume inlines the hot cases.
+        cls = command.__class__
+        if cls is SimEvent:
+            command.add_waiter(self._resume_cb)
+        elif cls is Delay:
+            self.sim.call_after(command.duration, self._resume_cb)
+        elif cls is int:
+            if command < 0:
+                self._throw(SimulationError(
+                    f"process {self.name!r} yielded a negative delay {command}"))
+                return
+            self.sim.call_after(command, self._resume_cb)
+        elif cls is Process:
+            command._completion.add_waiter(self._resume_cb)
+        elif cls is AllOf:
             self._wait_all(command.events)
-        elif isinstance(command, AnyOf):
+        elif cls is AnyOf:
             self._wait_any(command.events)
         elif command is None:
             # Bare ``yield`` -- resume on the next scheduler pass.
-            self.sim.schedule(0, self._resume, None)
+            self.sim.call_soon(self._resume_cb)
+        elif isinstance(command, (SimEvent, Delay, Process)):
+            # Subclasses of the command types take the generic paths.
+            if isinstance(command, SimEvent):
+                command.add_waiter(self._resume_cb)
+            elif isinstance(command, Delay):
+                self.sim.call_after(command.duration, self._resume_cb)
+            else:
+                command.completion.add_waiter(self._resume_cb)
         else:
             self._throw(
                 SimulationError(f"process {self.name!r} yielded unsupported {command!r}")
@@ -184,7 +244,7 @@ class Process:
     def _wait_all(self, items: List[Any]) -> None:
         events = [self._as_event(item) for item in items]
         if not events:
-            self.sim.schedule(0, self._resume, [])
+            self.sim.call_soon(self._resume_cb, [])
             return
         remaining = {"count": len(events)}
         results: List[Any] = [None] * len(events)
@@ -204,7 +264,7 @@ class Process:
     def _wait_any(self, items: List[Any]) -> None:
         events = [self._as_event(item) for item in items]
         if not events:
-            self.sim.schedule(0, self._resume, None)
+            self.sim.call_soon(self._resume_cb)
             return
         done = {"fired": False}
 

@@ -14,7 +14,7 @@ yielding it.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, Optional
 
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.process import SimEvent
@@ -32,6 +32,10 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[SimEvent] = deque()
         self._putters: Deque[tuple] = deque()  # (event, item)
+        # Event names are hoisted out of put()/get(): building one
+        # f-string per packet shows up in fabric hot-path profiles.
+        self._put_name = name + ".put"
+        self._get_name = name + ".get"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -41,15 +45,19 @@ class Store:
         return self.capacity is not None and len(self._items) >= self.capacity
 
     def put(self, item: Any) -> SimEvent:
-        """Enqueue ``item``; the returned event triggers once accepted."""
-        event = SimEvent(self.sim, name=f"{self.name}.put")
+        """Enqueue ``item``; the returned event triggers once accepted.
+
+        The immediate-acceptance paths mark the fresh event succeeded in
+        place: it cannot have waiters yet, so this equals ``succeed(None)``
+        without the call overhead (this is the per-packet fast path).
+        """
+        event = SimEvent(self.sim, name=self._put_name)
         if self._getters:
-            getter = self._getters.popleft()
-            getter.succeed(item)
-            event.succeed(None)
-        elif not self.is_full:
+            self._getters.popleft().succeed(item)
+            event._succeeded = True
+        elif self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
-            event.succeed(None)
+            event._succeeded = True
         else:
             self._putters.append((event, item))
         return event
@@ -66,11 +74,13 @@ class Store:
 
     def get(self) -> SimEvent:
         """Dequeue an item; the returned event triggers with the item."""
-        event = SimEvent(self.sim, name=f"{self.name}.get")
+        event = SimEvent(self.sim, name=self._get_name)
         if self._items:
-            item = self._items.popleft()
-            event.succeed(item)
-            self._admit_waiting_putter()
+            # Fresh event, no waiters possible: succeed in place.
+            event._value = self._items.popleft()
+            event._succeeded = True
+            if self._putters:
+                self._admit_waiting_putter()
         else:
             self._getters.append(event)
         return event
@@ -101,6 +111,7 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[SimEvent] = deque()
+        self._acquire_name = name + ".acquire"
 
     @property
     def in_use(self) -> int:
@@ -112,10 +123,11 @@ class Resource:
 
     def acquire(self) -> SimEvent:
         """Request a unit; the returned event fires once granted."""
-        event = SimEvent(self.sim, name=f"{self.name}.acquire")
+        event = SimEvent(self.sim, name=self._acquire_name)
         if self._in_use < self.capacity:
             self._in_use += 1
-            event.succeed(None)
+            # Fresh event, no waiters possible: succeed in place.
+            event._succeeded = True
         else:
             self._waiters.append(event)
         return event
@@ -147,6 +159,7 @@ class CreditPool:
         self.sim = sim
         self.name = name
         self.maximum = maximum if maximum is not None else initial
+        self._take_name = name + ".take"
         self._credits = initial
         self._waiters: Deque[tuple] = deque()  # (event, amount)
         self.total_taken = 0
@@ -165,11 +178,12 @@ class CreditPool:
             raise SimulationError(
                 f"requesting {amount} credits exceeds pool maximum {self.maximum}"
             )
-        event = SimEvent(self.sim, name=f"{self.name}.take")
+        event = SimEvent(self.sim, name=self._take_name)
         if not self._waiters and self._credits >= amount:
             self._credits -= amount
             self.total_taken += amount
-            event.succeed(None)
+            # Fresh event, no waiters possible: succeed in place.
+            event._succeeded = True
         else:
             self.stall_count += 1
             self._waiters.append((event, amount))

@@ -140,9 +140,22 @@ class StatsRegistry:
         self.histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        return self.counters[name]
+        try:
+            return self.counters[name]
+        except KeyError:
+            counter = self.counters[name] = Counter(name)
+            return counter
+
+    def bind_counters(self, *names: str):
+        """Counter handles for ``names``, created on first use.
+
+        Hot-path components bind their counters once in ``__init__`` and
+        increment through the returned handles, instead of paying a
+        string-keyed registry lookup per packet::
+
+            self._sent, self._dropped = stats.bind_counters("sent", "dropped")
+        """
+        return tuple(self.counter(name) for name in names)
 
     def gauge(self, name: str, initial: float = 0.0) -> Gauge:
         if name not in self.gauges:

@@ -1,0 +1,71 @@
+"""Tests for the cluster-contention experiment over the event fabric."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS
+from repro.experiments.fig_cluster_contention import (
+    ClusterContentionConfig,
+    run_fig_cluster_contention,
+)
+
+SMALL = ClusterContentionConfig(node_counts=(2, 4, 8), probes_per_node=2,
+                                cross_traffic_per_node=8)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fig_cluster_contention(SMALL)
+
+
+def test_registered_in_cli():
+    assert "contention" in EXPERIMENTS
+
+
+def test_all_series_cover_every_node_count(report):
+    labels = [f"{n}_nodes" for n in SMALL.node_counts]
+    for name in ("closed_form_latency_ns", "measured_uncontended_ns",
+                 "measured_contended_ns", "queueing_delay_ns",
+                 "hottest_link_busy_percent"):
+        assert report.labels(name) == labels
+
+
+def test_contended_latency_never_below_uncontended(report):
+    for label in report.labels("queueing_delay_ns"):
+        assert report.value("queueing_delay_ns", label) >= 0.0
+        assert (report.value("measured_contended_ns", label)
+                >= report.value("measured_uncontended_ns", label))
+
+
+def test_event_fabric_charges_more_than_the_closed_forms(report):
+    # The closed forms model wire+switch latency only; the event fabric
+    # additionally pays datalink processing and credit machinery, so the
+    # uncontended measurement must sit above the closed form.
+    for label in report.labels("closed_form_latency_ns"):
+        assert (report.value("measured_uncontended_ns", label)
+                > report.value("closed_form_latency_ns", label))
+
+
+def test_cross_traffic_queues_the_larger_clusters(report):
+    # The multi-router shapes must exhibit visible queueing delay.
+    assert report.value("queueing_delay_ns", "8_nodes") > 0.0
+
+
+def test_latency_cache_is_shared_across_the_sweep(report):
+    assert report.value("latency_cache", "hit_rate_percent") > 50.0
+
+
+def test_star_topology_supported():
+    config = ClusterContentionConfig(node_counts=(2, 4), topology="star",
+                                     probes_per_node=1,
+                                     cross_traffic_per_node=2)
+    star_report = run_fig_cluster_contention(config)
+    assert star_report.value("measured_contended_ns", "4_nodes") > 0.0
+
+
+def test_rejects_bad_configs():
+    with pytest.raises(ValueError):
+        ClusterContentionConfig(node_counts=(1, 2))
+    with pytest.raises(ValueError):
+        ClusterContentionConfig(topology="mesh3d")
+    with pytest.raises(ValueError):
+        ClusterContentionConfig(probes_per_node=0)

@@ -125,7 +125,26 @@ def test_bare_yield_resumes_same_timestamp(sim):
 def test_yielding_garbage_raises_inside_process(sim):
     def body():
         try:
-            yield 12345
+            yield "not a command"
+        except Exception as exc:
+            return type(exc).__name__
+        return "no error"
+
+    assert run_process(sim, body()).result == "SimulationError"
+
+
+def test_bare_int_yield_is_a_delay(sim):
+    def body():
+        yield 500
+        return sim.now
+
+    assert run_process(sim, body()).result == 500
+
+
+def test_negative_int_yield_raises_inside_process(sim):
+    def body():
+        try:
+            yield -5
         except Exception as exc:
             return type(exc).__name__
         return "no error"
