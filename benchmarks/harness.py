@@ -3,13 +3,18 @@
 
 Drives the full event-driven fabric (PHY + datalink + switch stacks
 built by :meth:`VeniceSystem.build_event_fabric`) with deterministic
-traffic over three topologies -- a directly connected pair, an 8-node
-star, and a 16-node fat-tree -- and reports engine throughput as
-*events per second of wall clock* plus total wall time per workload.
+traffic over four workloads -- a directly connected pair, an 8-node
+star, a 16-node fat-tree (all open-loop, pre-scheduled injections) and
+a closed-loop request/response workload (QPair-style: each delivered
+request turns into a response, each response completes a round-trip
+and launches the next request, with datalink credit feedback end to
+end) -- and reports engine throughput as *events per second of wall
+clock* plus total wall time per workload.
 
-The workloads are budget-based (a fixed number of packets injected, the
-run ends when the event queue drains), so the simulated work is
-byte-identical across engine versions; only the wall clock changes.
+The workloads are budget-based (a fixed number of packets injected or
+round-trips completed; the run ends when the event queue drains), so
+the simulated work is byte-identical across engine versions; only the
+wall clock changes.
 
 Usage::
 
@@ -17,7 +22,8 @@ Usage::
     PYTHONPATH=src python benchmarks/harness.py --json BENCH_engine.json \
         --baseline old.json                                      # write report
     PYTHONPATH=src python benchmarks/harness.py --workload fat_tree \
-        --min-events-per-sec 150000                              # CI smoke gate
+        --scheduler calendar --min-events-per-sec 150000         # CI smoke gate
+    PYTHONPATH=src python benchmarks/harness.py --profile        # cProfile top-20
 
 See ``benchmarks/README.md`` for the BENCH_engine.json schema.
 """
@@ -34,20 +40,24 @@ from typing import Dict, List, Optional
 from repro.core.config import VeniceConfig
 from repro.core.system import VeniceSystem
 from repro.fabric.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
 from repro.sim.rng import DeterministicRNG
 
 SCHEMA = "bench-engine/v1"
 
-#: Workload id -> (VeniceConfig factory kwargs, packets injected per
-#: compute node per round, rounds).  Rounds stagger injections in
-#: simulated time so flow control engages without livelocking.
+#: Workload id -> spec.  Open-loop workloads pre-schedule
+#: ``packets_per_node`` injections per compute node in ``rounds``
+#: bursts; the closed-loop workload keeps ``window`` requests in
+#: flight per node until ``requests_per_node`` round-trips complete.
 WORKLOADS: Dict[str, dict] = {
-    "pair": dict(num_nodes=2, topology="direct_pair",
+    "pair": dict(num_nodes=2, topology="direct_pair", mode="open",
                  packets_per_node=1600, rounds=4),
-    "star": dict(num_nodes=8, topology="star",
+    "star": dict(num_nodes=8, topology="star", mode="open",
                  packets_per_node=300, rounds=4),
-    "fat_tree": dict(num_nodes=16, topology="fat_tree",
+    "fat_tree": dict(num_nodes=16, topology="fat_tree", mode="open",
                      packets_per_node=160, rounds=4),
+    "closed_loop": dict(num_nodes=8, topology="star", mode="closed",
+                        requests_per_node=250, window=4),
 }
 
 #: Gap between injection rounds, ns (lets queues partially drain so the
@@ -55,6 +65,9 @@ WORKLOADS: Dict[str, dict] = {
 ROUND_GAP_NS = 200_000
 
 PAYLOAD_BYTES = 64
+
+#: Stagger between the initial requests of a closed-loop client, ns.
+CLIENT_STAGGER_NS = 1_000
 
 
 @dataclass
@@ -68,28 +81,38 @@ class WorkloadResult:
     sim_ns: int
     wall_s: float
     events_per_sec: float
+    scheduler: str = "auto"
+    mean_rtt_ns: Optional[float] = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "packets": self.packets,
             "delivered": self.delivered,
             "events": self.events,
             "sim_ns": self.sim_ns,
             "wall_s": round(self.wall_s, 6),
             "events_per_sec": round(self.events_per_sec, 1),
+            # Provenance: which timer backend produced these numbers --
+            # per-backend throughput differs, so comparisons across
+            # backends must be detectable in the JSON.
+            "scheduler": self.scheduler,
         }
+        if self.mean_rtt_ns is not None:
+            data["mean_rtt_ns"] = round(self.mean_rtt_ns, 1)
+        return data
 
 
-def build_fabric(workload: str):
+def build_fabric(workload: str, scheduler: str = "auto"):
     """System + event fabric + delivery-counting sinks for one workload."""
     spec = WORKLOADS[workload]
-    kwargs = {"num_nodes": spec["num_nodes"], "topology": spec["topology"]}
-    system = VeniceSystem.build(VeniceConfig(**kwargs))
-    fabric = system.build_event_fabric()
-    delivered: List[int] = [0]
+    system = VeniceSystem.build(VeniceConfig(num_nodes=spec["num_nodes"],
+                                             topology=spec["topology"]))
+    fabric = system.build_event_fabric(sim=Simulator(scheduler=scheduler))
+    # Sink cost is part of the measured wall clock: a bound list append
+    # is the cheapest per-delivery accounting available in pure Python.
+    delivered: List[Packet] = []
     for switch in fabric.switches.values():
-        switch.attach_local_sink(
-            lambda packet: delivered.__setitem__(0, delivered[0] + 1))
+        switch.attach_local_sink(delivered.append)
     return system, fabric, delivered
 
 
@@ -118,47 +141,161 @@ def inject_traffic(system, fabric, workload: str, packets_per_node: int,
     return injected
 
 
+class ClosedLoopDriver:
+    """QPair-style request/response traffic over the event fabric.
+
+    Every compute node is a client keeping ``window`` requests in
+    flight towards seeded-random servers.  A request delivered at its
+    server injects a response back at the same timestamp; the response
+    arriving at the client completes one round-trip and immediately
+    launches the next request.  Load is therefore *closed-loop*: the
+    injection rate is set by measured round-trip completions (and the
+    datalink credit machinery backpressures the whole loop), not by a
+    pre-computed schedule.
+    """
+
+    def __init__(self, system, fabric, requests_per_node: int, window: int,
+                 seed: int = 2016, payload_bytes: int = PAYLOAD_BYTES):
+        self.fabric = fabric
+        self.payload_bytes = payload_bytes
+        self.completed = 0
+        self.responses_sent = 0
+        self.rtt_total_ns = 0
+        self._rng = DeterministicRNG(seed)
+        self._inject_time: Dict[int, int] = {}
+        compute = list(system.topology.compute_nodes)
+        self._peers = {src: [node for node in compute if node != src]
+                       for src in compute}
+        self._remaining = {src: requests_per_node for src in compute}
+        self.total_requests = requests_per_node * len(compute)
+        for switch in fabric.switches.values():
+            switch.attach_local_sink(self._make_sink(switch.node_id))
+        # Stagger the initial windows so the first wave does not collide
+        # on a single timestamp at every switch.
+        for index, src in enumerate(compute):
+            for slot in range(window):
+                at = index * CLIENT_STAGGER_NS + slot * (CLIENT_STAGGER_NS // 2)
+                fabric.sim.schedule_at(at, self._launch, src)
+
+    def _make_sink(self, node_id: int):
+        def sink(packet: Packet, _node=node_id) -> None:
+            if packet.kind is PacketKind.QPAIR_DATA:
+                # Server side: turn the request into a response.
+                response = Packet(src=_node, dst=packet.src,
+                                  kind=PacketKind.QPAIR_ACK,
+                                  payload_bytes=self.payload_bytes,
+                                  payload=packet.packet_id)
+                self.responses_sent += 1
+                self.fabric.switches[_node].inject(response)
+            elif packet.kind is PacketKind.QPAIR_ACK:
+                # Client side: round-trip complete, launch the next one.
+                started = self._inject_time.pop(packet.payload, None)
+                if started is not None:
+                    self.completed += 1
+                    self.rtt_total_ns += self.fabric.sim.now - started
+                self._launch(_node)
+        return sink
+
+    def _launch(self, src: int) -> None:
+        if self._remaining[src] <= 0:
+            return
+        self._remaining[src] -= 1
+        request = Packet(src=src, dst=self._rng.choice(self._peers[src]),
+                         kind=PacketKind.QPAIR_DATA,
+                         payload_bytes=self.payload_bytes)
+        self._inject_time[request.packet_id] = self.fabric.sim.now
+        self.fabric.switches[src].inject(request)
+
+    @property
+    def mean_rtt_ns(self) -> float:
+        return self.rtt_total_ns / self.completed if self.completed else 0.0
+
+
 def run_workload(workload: str, packets_per_node: Optional[int] = None,
-                 seed: int = 2016) -> WorkloadResult:
+                 seed: int = 2016, scheduler: str = "auto") -> WorkloadResult:
     """Build, inject and run one workload under the wall-clock timer."""
     spec = WORKLOADS[workload]
-    per_node = packets_per_node or spec["packets_per_node"]
-    system, fabric, delivered = build_fabric(workload)
-    injected = inject_traffic(system, fabric, workload, per_node, seed=seed)
+    driver = None
+    if spec["mode"] == "closed":
+        system = VeniceSystem.build(VeniceConfig(num_nodes=spec["num_nodes"],
+                                                 topology=spec["topology"]))
+        fabric = system.build_event_fabric(sim=Simulator(scheduler=scheduler))
+        driver = ClosedLoopDriver(
+            system, fabric,
+            requests_per_node=packets_per_node or spec["requests_per_node"],
+            window=spec["window"], seed=seed)
+    else:
+        system, fabric, delivered = build_fabric(workload, scheduler=scheduler)
+        injected = inject_traffic(system, fabric, workload,
+                                  packets_per_node or spec["packets_per_node"],
+                                  seed=seed)
     start = time.perf_counter()
     fabric.sim.run_until_idle()
     wall = time.perf_counter() - start
     events = fabric.sim.events_processed
     return WorkloadResult(
         workload=workload,
-        packets=injected,
-        delivered=delivered[0],
+        packets=(driver.total_requests + driver.responses_sent
+                 if driver is not None else injected),
+        delivered=driver.completed if driver is not None else len(delivered),
         events=events,
         sim_ns=fabric.sim.now,
         wall_s=wall,
         events_per_sec=events / wall if wall > 0 else 0.0,
+        scheduler=fabric.sim.scheduler,
+        mean_rtt_ns=driver.mean_rtt_ns if driver is not None else None,
     )
 
 
 def run_all(packets_per_node: Optional[int] = None,
             workloads: Optional[List[str]] = None,
-            repeats: int = 1) -> Dict[str, WorkloadResult]:
+            repeats: int = 1, scheduler: str = "auto") -> Dict[str, WorkloadResult]:
     """Run the selected workloads, keeping the best of ``repeats`` runs."""
     results: Dict[str, WorkloadResult] = {}
     for workload in workloads or list(WORKLOADS):
         best: Optional[WorkloadResult] = None
         for _ in range(max(1, repeats)):
-            result = run_workload(workload, packets_per_node)
+            result = run_workload(workload, packets_per_node,
+                                  scheduler=scheduler)
             if best is None or result.events_per_sec > best.events_per_sec:
                 best = result
         results[workload] = best
     return results
 
 
+def profile_workloads(workloads: Optional[List[str]] = None,
+                      scheduler: str = "auto", top: int = 20) -> None:
+    """Print the cProfile top-N cumulative hotspots per workload.
+
+    Future perf PRs start from data: this is the same view the round-1
+    and round-2 hot-path overhauls were driven by.
+    """
+    import cProfile
+    import pstats
+
+    for workload in workloads or list(WORKLOADS):
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run_workload(workload, scheduler=scheduler)
+        profiler.disable()
+        print(f"\n=== {workload}: top {top} by cumulative time "
+              f"({result.events} events, scheduler={result.scheduler}) ===")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(top)
+
+
 def make_report(results: Dict[str, WorkloadResult],
                 baseline: Optional[dict] = None,
                 label: str = "current") -> dict:
-    """Assemble the BENCH_engine.json document."""
+    """Assemble the BENCH_engine.json document.
+
+    ``speedup_events_per_sec`` is the ratio of events/sec values; when
+    the two sides executed different event counts for the same
+    simulated work (an engine that needs fewer events per packet-hop),
+    ``speedup_wall`` -- the wall-time ratio on the identical packet
+    budget -- is the apples-to-apples throughput comparison and is
+    emitted alongside.
+    """
     report = {
         "schema": SCHEMA,
         "label": label,
@@ -172,21 +309,29 @@ def make_report(results: Dict[str, WorkloadResult],
             "workloads": base_workloads,
         }
         speedup = {}
+        speedup_wall = {}
         for name, result in results.items():
-            base = base_workloads.get(name, {}).get("events_per_sec")
-            if base:
-                speedup[name] = round(result.events_per_sec / base, 2)
+            base = base_workloads.get(name, {})
+            base_eps = base.get("events_per_sec")
+            if base_eps:
+                speedup[name] = round(result.events_per_sec / base_eps, 2)
+            base_wall = base.get("wall_s")
+            if base_wall and result.wall_s > 0:
+                speedup_wall[name] = round(base_wall / result.wall_s, 2)
         report["speedup_events_per_sec"] = speedup
+        report["speedup_wall"] = speedup_wall
     return report
 
 
 def print_table(report: dict) -> None:
-    rows = [("workload", "events", "wall_s", "events/sec", "speedup")]
+    rows = [("workload", "events", "wall_s", "events/sec", "speedup", "wall-speedup")]
     speedups = report.get("speedup_events_per_sec", {})
+    wall_speedups = report.get("speedup_wall", {})
     for name, data in report["workloads"].items():
         rows.append((name, str(data["events"]), f"{data['wall_s']:.3f}",
                      f"{data['events_per_sec']:,.0f}",
-                     f"{speedups[name]:.2f}x" if name in speedups else "-"))
+                     f"{speedups[name]:.2f}x" if name in speedups else "-",
+                     f"{wall_speedups[name]:.2f}x" if name in wall_speedups else "-"))
     widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
     for row in rows:
         print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
@@ -197,9 +342,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workload", action="append", choices=list(WORKLOADS),
                         help="workload(s) to run (default: all)")
     parser.add_argument("--packets-per-node", type=int, default=None,
-                        help="override per-node packet budget (all workloads)")
+                        help="override per-node packet/request budget")
     parser.add_argument("--repeats", type=int, default=1,
                         help="runs per workload; the best events/sec is kept")
+    parser.add_argument("--scheduler", choices=("auto", "heap", "calendar"),
+                        default="auto",
+                        help="timer backend for the simulator (default: auto)")
     parser.add_argument("--label", default="current",
                         help="label recorded in the JSON report")
     parser.add_argument("--json", metavar="PATH",
@@ -209,7 +357,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--min-events-per-sec", type=float, default=None,
                         help="exit non-zero if any selected workload falls "
                              "below this floor (CI smoke gate)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print cProfile top-20 cumulative hotspots per "
+                             "workload instead of the benchmark table")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        profile_workloads(workloads=args.workload, scheduler=args.scheduler)
+        return 0
 
     baseline = None
     if args.baseline:
@@ -217,7 +372,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             baseline = json.load(handle)
 
     results = run_all(packets_per_node=args.packets_per_node,
-                      workloads=args.workload, repeats=args.repeats)
+                      workloads=args.workload, repeats=args.repeats,
+                      scheduler=args.scheduler)
     report = make_report(results, baseline=baseline, label=args.label)
     print_table(report)
 

@@ -20,6 +20,10 @@ from repro.experiments.fig15_remote_memory import run_fig15
 from repro.experiments.fig16_accel_nic import run_fig16a, run_fig16b
 from repro.experiments.fig17_channels import run_fig17
 from repro.experiments.fig18_flow_control import run_fig18
+from repro.experiments.fig_cluster_contention import (
+    run_fig_cluster_contention,
+    run_fig_cluster_contention_closed_loop,
+)
 from repro.experiments.fig_cluster_scaling import run_fig_cluster_scaling
 from repro.experiments.hardware_cost import run_hardware_cost
 
@@ -33,6 +37,8 @@ __all__ = [
     "run_fig16b",
     "run_fig17",
     "run_fig18",
+    "run_fig_cluster_contention",
+    "run_fig_cluster_contention_closed_loop",
     "run_fig_cluster_scaling",
     "run_hardware_cost",
 ]

@@ -19,7 +19,10 @@ from repro.experiments.fig15_remote_memory import run_fig15
 from repro.experiments.fig16_accel_nic import run_fig16a, run_fig16b
 from repro.experiments.fig17_channels import run_fig17
 from repro.experiments.fig18_flow_control import run_fig18
-from repro.experiments.fig_cluster_contention import run_fig_cluster_contention
+from repro.experiments.fig_cluster_contention import (
+    run_fig_cluster_contention,
+    run_fig_cluster_contention_closed_loop,
+)
 from repro.experiments.fig_cluster_scaling import run_fig_cluster_scaling
 from repro.experiments.hardware_cost import run_hardware_cost
 
@@ -38,6 +41,9 @@ EXPERIMENTS: Dict[str, tuple] = {
                 run_fig_cluster_scaling),
     "contention": ("queueing delay under cross-traffic on the event fabric",
                    run_fig_cluster_contention),
+    "contention_closed": ("contended request/response round-trips over the "
+                          "event fabric (closed-loop)",
+                          run_fig_cluster_contention_closed_loop),
     "hwcost": ("Section 7.3 hardware cost", run_hardware_cost),
 }
 

@@ -27,12 +27,13 @@ from __future__ import annotations
 
 import json
 import statistics
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.report import FigureReport
 from repro.cluster import Cluster, ClusterConfig, ClusterLatencyCache
 from repro.fabric.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
 from repro.sim.rng import DeterministicRNG
 
 
@@ -64,6 +65,14 @@ class ClusterContentionConfig:
     wave_gap_ns: int = 400_000
     #: RNG seed for destination choices (deterministic sweeps).
     seed: int = 2016
+    #: Closed-loop mode: probes are request/response round-trips (the
+    #: destination answers every probe with a same-sized response) and
+    #: cross-traffic packets are acknowledged too, so the sweep measures
+    #: real end-to-end round-trips with credit feedback on both legs
+    #: instead of one-way deliveries.
+    closed_loop: bool = False
+    #: Timer backend for the simulator ("auto", "heap" or "calendar").
+    scheduler: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.node_counts or min(self.node_counts) < 2:
@@ -72,6 +81,8 @@ class ClusterContentionConfig:
             raise ValueError(f"unsupported contention topology {self.topology!r}")
         if self.probes_per_node < 1:
             raise ValueError("each node needs at least one probe")
+        if self.scheduler not in ("auto", "heap", "calendar"):
+            raise ValueError(f"unsupported scheduler {self.scheduler!r}")
         self.node_counts = tuple(sorted(set(self.node_counts)))
 
 
@@ -100,21 +111,33 @@ def _probe_plan(cluster: Cluster, config: ClusterContentionConfig,
 
 
 class _FabricRun:
-    """One event-fabric execution: probes (optionally plus cross-traffic)."""
+    """One event-fabric execution: probes (optionally plus cross-traffic).
+
+    In closed-loop mode every delivered probe request is answered with a
+    same-sized response injected at the destination (and cross-traffic
+    is acknowledged the same way), so the recorded latencies are full
+    round-trips over the contended fabric -- request and response both
+    subject to credit flow control and queueing.
+    """
 
     def __init__(self, cluster: Cluster, config: ClusterContentionConfig,
                  probes: List[Tuple[int, int]], contended: bool,
                  rng: DeterministicRNG):
-        self.fabric = cluster.system.build_event_fabric()
+        self.closed_loop = config.closed_loop
+        self._probe_payload = config.payload_bytes
+        self.fabric = cluster.system.build_event_fabric(
+            sim=Simulator(scheduler=config.scheduler))
         self.latencies_ns: Dict[int, int] = {}
         self._inject_times: Dict[int, int] = {}
         compute = cluster.topology.compute_nodes
         sim = self.fabric.sim
         for switch in self.fabric.switches.values():
             switch.attach_local_sink(self._on_delivery)
+        probe_kind = (PacketKind.CRMA_READ if config.closed_loop
+                      else PacketKind.CRMA_READ_RESP)
         for wave, (src, dst) in enumerate(probes):
             at = (wave + 1) * config.wave_gap_ns
-            probe = Packet(src=src, dst=dst, kind=PacketKind.CRMA_READ_RESP,
+            probe = Packet(src=src, dst=dst, kind=probe_kind,
                            payload_bytes=config.payload_bytes, created_at=at)
             self._inject_times[probe.packet_id] = at
             sim.schedule_at(at, self.fabric.switches[src].inject, probe)
@@ -132,6 +155,30 @@ class _FabricRun:
         sim.run_until_idle()
 
     def _on_delivery(self, packet: Packet) -> None:
+        if self.closed_loop:
+            kind = packet.kind
+            if kind is PacketKind.CRMA_READ:
+                # Probe request reached its destination: answer it.
+                response = Packet(src=packet.dst, dst=packet.src,
+                                  kind=PacketKind.CRMA_READ_RESP,
+                                  payload_bytes=self._probe_payload,
+                                  payload=packet.packet_id)
+                self.fabric.switches[packet.dst].inject(response)
+                return
+            if kind is PacketKind.RDMA_CHUNK:
+                # Cross-traffic is acknowledged too: the reverse leg
+                # carries load (and credit feedback) like real traffic.
+                ack = Packet(src=packet.dst, dst=packet.src,
+                             kind=PacketKind.RDMA_ACK, payload_bytes=64)
+                self.fabric.switches[packet.dst].inject(ack)
+                return
+            if kind is PacketKind.CRMA_READ_RESP:
+                injected_at = self._inject_times.get(packet.payload)
+                if injected_at is not None:
+                    self.latencies_ns[packet.payload] = (
+                        self.fabric.sim.now - injected_at)
+                return
+            return
         injected_at = self._inject_times.get(packet.packet_id)
         if injected_at is not None:
             self.latencies_ns[packet.packet_id] = self.fabric.sim.now - injected_at
@@ -185,8 +232,12 @@ def run_fig_cluster_contention(config: Optional[ClusterContentionConfig] = None
         rng = DeterministicRNG(config.seed + num_nodes)
         probes = _probe_plan(cluster, config, rng)
 
+        # Closed-loop probes pay the one-way latency twice (request and
+        # same-sized response), so the comparable closed form doubles.
+        legs = 2 if config.closed_loop else 1
         closed_form_ns[label] = statistics.mean(
-            cluster.path_between(src, dst).one_way_latency_ns(config.payload_bytes)
+            legs * cluster.path_between(src, dst).one_way_latency_ns(
+                config.payload_bytes)
             for src, dst in probes)
 
         idle = _FabricRun(cluster, config, probes, contended=False,
@@ -204,10 +255,12 @@ def run_fig_cluster_contention(config: Optional[ClusterContentionConfig] = None
         events[label] = float(idle.fabric.sim.events_processed
                               + loaded.fabric.sim.events_processed)
 
+    mode = "closed-loop round-trips" if config.closed_loop else "one-way probes"
     report = FigureReport(
         figure_id="fig_cluster_contention",
         title="Queueing delay under cross-traffic versus the latency-cache "
-              f"closed forms ({config.topology} fabric, 2-node pair baseline)",
+              f"closed forms ({config.topology} fabric, {mode}, "
+              "2-node pair baseline)",
         notes="shape target: queueing delay grows with cluster size while the "
               "closed forms stay load-blind; model_delta is the load-independent "
               "datalink/flow-control cost the closed forms omit",
@@ -226,6 +279,16 @@ def run_fig_cluster_contention(config: Optional[ClusterContentionConfig] = None
         "entries": float(len(cache)),
     })
     return report
+
+
+def run_fig_cluster_contention_closed_loop(
+        config: Optional[ClusterContentionConfig] = None) -> FigureReport:
+    """Closed-loop variant: contended request/response round-trips."""
+    if config is None:
+        config = ClusterContentionConfig(closed_loop=True)
+    elif not config.closed_loop:
+        config = replace(config, closed_loop=True)
+    return run_fig_cluster_contention(config)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

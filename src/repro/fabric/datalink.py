@@ -8,6 +8,19 @@ Implements the mechanisms described in Section 5.1.1:
 * **CRC error detection** on the receiver side, with a **replay
   mechanism** on the sender side: packets are kept in a retransmission
   window until acknowledged, and NAKed (corrupted) packets are resent.
+
+Hot-path design notes
+---------------------
+Both directions are event-equivalent callback chains; a clean packet
+costs two scheduled events at this layer (sender processing, receiver
+processing) plus an amortised fraction of one coalesced credit-return
+flush.  The sender takes its credit synchronously when one is available
+(:meth:`CreditPool.try_take`, no event allocated) and only joins the
+pool's waiter FIFO when stalled; the receiver serialises processing
+through a busy flag and a deque instead of a Store + drain process, so
+no generator is resumed per packet.  Credit returns go through
+:meth:`CreditPool.schedule_replenish`, which batches every credit freed
+within one return-latency window into a single wakeup pass.
 """
 
 from __future__ import annotations
@@ -17,8 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional
 
 from repro.sim.engine import Simulator
-from repro.sim.process import Process
-from repro.sim.resources import CreditPool, Store
+from repro.sim.resources import CreditPool
 from repro.sim.stats import StatsRegistry
 from repro.fabric.packet import Packet
 from repro.fabric.phy import PhysicalLink
@@ -36,6 +48,13 @@ class DataLinkConfig:
     processing_latency_ns: int = 20
     #: Maximum replay attempts before the link declares a fault.
     max_replays: int = 8
+    #: Credit returns accrue until this many are owed (or the receive
+    #: pipeline idles, whichever comes first) and then flush as one
+    #: coalesced replenish -- modelling piggybacked/batched ack frames.
+    #: The effective threshold is clamped to half the credit window so
+    #: batching can never withhold enough credits to stall a sender
+    #: forever; the idle flush covers the tail of every burst.
+    credit_batch: int = 8
 
 
 class DataLink:
@@ -65,8 +84,13 @@ class DataLink:
                 "link_faults", "credits_returned")
         self.credits = CreditPool(sim, initial=self.config.credits, name=f"{name}.credits")
         self._sink: Optional[Callable[[Packet], None]] = None
-        self._receive_buffer: Store = Store(sim, capacity=self.config.credits,
-                                            name=f"{name}.rxbuf")
+        self._processing_ns = self.config.processing_latency_ns
+        #: Scheduler entry point bound once; several calls per packet.
+        self._call_after = sim.call_after
+        #: Receiver buffer: packets waiting for the (serialised) receive
+        #: processing stage; bounded by ``config.credits``.
+        self._rx_queue: Deque[Packet] = deque()
+        self._rx_busy = False
         self._pending_replay: Dict[int, Packet] = {}
         #: Replay attempts per in-flight sequence; pruned on delivery so
         #: the tracking stays bounded by the credit window (the previous
@@ -74,12 +98,14 @@ class DataLink:
         #: for the lifetime of the link).
         self._replay_attempts: Dict[int, int] = {}
         self._next_sequence = 0
+        #: Credits owed to the sender but not yet flushed to the pool.
+        self._credits_owed = 0
+        self._credit_batch = max(1, min(self.config.credit_batch,
+                                        self.config.credits // 2))
         self._send_name = f"{name}.send"
-        self._replay_name = f"{name}.replay"
         #: Packets between send_and_forget's credit request and grant.
         self._sf_pending: Deque[Packet] = deque()
         forward_link.connect(self._on_packet_arrival)
-        self._drain = Process(sim, self._receiver_loop(), name=f"{name}.rx")
 
     # ------------------------------------------------------------------
     # Sender side
@@ -106,39 +132,52 @@ class DataLink:
     def send_and_forget(self, packet: Packet) -> None:
         """Transmit one packet asynchronously (the per-hop fast path).
 
-        Equivalent to spawning :meth:`send` as a process -- same credit
-        acquisition, same event schedule, same ordering -- but as a
-        callback chain, so forwarding a packet does not allocate a
-        process/generator pair per hop.  Callers that need to wait for
-        acceptance use :meth:`send` in a process instead.
+        Same latencies and event schedule as spawning :meth:`send` as a
+        process, but as a callback chain: the credit is taken
+        synchronously when available (no event, no allocation) and a
+        stalled packet joins the pool's waiter FIFO.  Ordering among
+        ``send_and_forget`` packets is strictly FIFO.  Relative to a
+        *process-based* :meth:`send` issued at the same timestamp, the
+        synchronous take can run before that process's deferred resume,
+        so mixed-path ordering at one instant is deterministic but not
+        creation-order FIFO; the event fabric uses only this path.
+        ``try_take`` and ``_sf_begin`` are inlined here -- this runs
+        once per packet per hop.
         """
-        self.sim.call_soon(self._sf_take, packet)
-
-    # Callback-chain stages of send_and_forget.  Packets are matched to
-    # credit grants through a FIFO: the credit pool grants strictly in
-    # take order among these stages (an immediate grant is only possible
-    # when no earlier taker is still waiting).
-    def _sf_take(self, packet: Packet) -> None:
-        event = self.credits.take(1)
-        self._sf_pending.append(packet)
-        if event._succeeded:
-            self.sim.call_soon(self._sf_granted)
+        pool = self.credits
+        # _sf_pending must be empty too: after a coalesced flush grants a
+        # parked packet, the grant callback is still in the ready queue
+        # while the pool already shows free credits -- taking one inline
+        # here would let this packet overtake the parked one and invert
+        # the FIFO sequence/transmission order.
+        if not self._sf_pending and not pool._waiters and pool._credits >= 1:
+            pool._credits -= 1
+            pool.total_taken += 1
+            packet.sequence = sequence = self._next_sequence
+            self._next_sequence = sequence + 1
+            self._pending_replay[sequence] = packet
+            self._call_after(self._processing_ns, self._sf_processed, packet)
         else:
+            # Joins the FIFO behind every earlier taker and counts the
+            # stall; _sf_pending pairs packets with grant callbacks in
+            # the same order the pool grants them.
+            event = pool.take(1)
+            self._sf_pending.append(packet)
             event.add_waiter(self._sf_granted)
 
     def _sf_granted(self, _value=None) -> None:
         packet = self._sf_pending.popleft()
-        packet.sequence = self._allocate_sequence()
-        self._pending_replay[packet.sequence] = packet
-        self.sim.call_after(self.config.processing_latency_ns,
-                            self._sf_processed, packet)
+        packet.sequence = sequence = self._next_sequence
+        self._next_sequence = sequence + 1
+        self._pending_replay[sequence] = packet
+        self._call_after(self._processing_ns, self._sf_processed, packet)
 
     def _sf_processed(self, packet: Packet) -> None:
-        event = self.forward_link.send(packet)
-        if event._succeeded:
-            self.sim.call_soon(self._sf_sent)
+        pending = self.forward_link.offer(packet)
+        if pending is None:
+            self._ctr_sent.value += 1
         else:
-            event.add_waiter(self._sf_sent)
+            pending.add_waiter(self._sf_sent)
 
     def _sf_sent(self, _value=None) -> None:
         self._ctr_sent.value += 1
@@ -163,13 +202,47 @@ class DataLink:
             self._ctr_crc_errors.value += 1
             self._request_replay(packet)
             return
-        if not self._receive_buffer.try_put(packet):
-            # Credit accounting should make this impossible; count it so
-            # tests can assert the invariant.
-            self._ctr_overflows.value += 1
-            self._request_replay(packet)
-            return
+        if self._rx_busy:
+            if len(self._rx_queue) >= self.config.credits:
+                # Credit accounting should make this impossible; count
+                # it so tests can assert the invariant.
+                self._ctr_overflows.value += 1
+                self._request_replay(packet)
+                return
+            self._rx_queue.append(packet)
+        else:
+            self._rx_busy = True
+            self._call_after(self._processing_ns, self._rx_done, packet)
         self._ctr_received.value += 1
+
+    def _rx_done(self, packet: Packet) -> None:
+        """Receive processing complete: ack, return credit, deliver up."""
+        self._pending_replay.pop(packet.sequence, None)
+        if self._replay_attempts:
+            # Only non-empty when replays are in flight (lossy links).
+            self._replay_attempts.pop(packet.sequence, None)
+        owed = self._credits_owed + 1
+        self._ctr_credits_returned.value += 1
+        queue = self._rx_queue
+        if queue:
+            # Batch while the pipeline stays busy: a stalled sender is
+            # guaranteed a flush because its un-returned credits keep
+            # the pipeline fed until the threshold trips.
+            if owed >= self._credit_batch:
+                self._flush_credits(owed)
+            else:
+                self._credits_owed = owed
+            self._call_after(self._processing_ns, self._rx_done,
+                             queue.popleft())
+        else:
+            # Flush-on-idle: never leave owed credits stranded when the
+            # burst (or the whole simulation) quiesces.
+            self._flush_credits(owed)
+            self._rx_busy = False
+        if self._sink is not None:
+            self._sink(packet)
+        else:
+            self.stats.counter("packets_dropped_no_sink").increment()
 
     def replay_attempts(self, sequence: int) -> int:
         """Replay attempts recorded for an in-flight sequence (0 if none)."""
@@ -207,31 +280,17 @@ class DataLink:
         )
 
     def _start_replay(self, packet: Packet) -> None:
-        Process(self.sim, self._replay_process(packet), name=self._replay_name)
+        # Retransmissions share the transmit queue's backpressure: when
+        # the queue is full the replay parks in the link's blocked-sender
+        # FIFO and is admitted as slots free -- nothing to do after
+        # acceptance, so the returned event (if any) needs no waiter.
+        self.forward_link.offer(packet)
 
-    def _replay_process(self, packet: Packet):
-        # Retransmissions share the transmit queue's backpressure: the
-        # replay waits until the physical link accepts the packet rather
-        # than discarding the acceptance event.
-        yield self.forward_link.send(packet)
-
-    def _receiver_loop(self):
-        processing_latency = self.config.processing_latency_ns
-        buffer_get = self._receive_buffer.get
-        while True:
-            packet = yield buffer_get()
-            yield processing_latency
-            self._pending_replay.pop(packet.sequence, None)
-            self._replay_attempts.pop(packet.sequence, None)
-            self._return_credit()
-            if self._sink is not None:
-                self._sink(packet)
-            else:
-                self.stats.counter("packets_dropped_no_sink").increment()
-
-    def _return_credit(self) -> None:
+    def _flush_credits(self, owed: int) -> None:
+        self._credits_owed = 0
         latency = self.config.credit_return_latency_ns
         if self.reverse_link is not None:
             latency += self.reverse_link.config.phy_latency_ns
-        self.sim.call_after(latency, self.credits.replenish, 1)
-        self._ctr_credits_returned.value += 1
+        # Coalesced: every credit in the batch rides a single replenish
+        # event (one wakeup pass) instead of one event each.
+        self.credits.schedule_replenish(owed, delay=latency)

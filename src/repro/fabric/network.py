@@ -34,20 +34,28 @@ class RoutingEntry:
 
 
 class RoutingTable:
-    """Destination-node to output-port mapping."""
+    """Destination-node to output-port mapping.
+
+    ``version`` increments on every mutation so route consumers (the
+    switch's resolved-route cache) can validate cached decisions with
+    one integer compare instead of a lookup per packet.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[int, RoutingEntry] = {}
+        self.version = 0
 
     def install(self, node_id: int, out_port: int, flow_id: int = 0) -> None:
         """Install or update the route towards ``node_id``."""
         self._entries[node_id] = RoutingEntry(node_id=node_id, out_port=out_port,
                                               flow_id=flow_id)
+        self.version += 1
 
     def invalidate(self, node_id: int) -> None:
         entry = self._entries.get(node_id)
         if entry is not None:
             entry.valid = False
+            self.version += 1
 
     def lookup(self, node_id: int) -> RoutingEntry:
         entry = self._entries.get(node_id)
@@ -98,6 +106,13 @@ class Switch:
         self._output_links: Dict[int, DataLink] = {}
         #: Per-port forwarded counters, bound when the port is attached.
         self._port_counters: Dict[int, object] = {}
+        #: Resolved destination -> (datalink, port counter), validated
+        #: against the routing-table version; one dict hit per packet
+        #: replaces the lookup + port + counter triple on the hot path.
+        self._resolved: Dict[int, tuple] = {}
+        self._resolved_version = -1
+        self._fwd_ns = self.config.forwarding_latency_ns
+        self._call_after = sim.call_after
         self._local_sink: Optional[Callable[[Packet], None]] = None
 
     def attach_output(self, port: int, datalink: DataLink) -> None:
@@ -108,6 +123,10 @@ class Switch:
             raise ValueError(f"port {port} outside switch radix {self.config.radix}")
         self._output_links[port] = datalink
         self._port_counters[port] = self.stats.counter(f"port{port}_forwarded")
+        # Re-attaching a port must drop resolved routes through it; the
+        # cache is otherwise only validated against the routing table.
+        self._resolved.clear()
+        self._resolved_version = -1
 
     def attach_local_sink(self, sink: Callable[[Packet], None]) -> None:
         """Attach the transport-layer receive path of this node."""
@@ -120,14 +139,28 @@ class Switch:
     def inject(self, packet: Packet) -> None:
         """Accept a packet from the local transport layer or a neighbour."""
         self._ctr_switched.value += 1
-        self.sim.call_after(self.config.forwarding_latency_ns, self._route, packet)
+        self._call_after(self._fwd_ns, self._route, packet)
 
     def _route(self, packet: Packet) -> None:
-        if packet.dst == self.node_id:
+        dst = packet.dst
+        if dst == self.node_id:
             self._eject(packet)
             return
+        table = self.routing_table
+        if self._resolved_version != table.version:
+            self._resolved.clear()
+            self._resolved_version = table.version
+        resolved = self._resolved.get(dst)
+        if resolved is None:
+            resolved = self._resolved[dst] = self._resolve(dst)
+        datalink, counter = resolved
+        counter.value += 1
+        datalink.send_and_forget(packet)
+
+    def _resolve(self, dst: int) -> tuple:
+        """Route lookup slow path; failures are never cached."""
         try:
-            entry = self.routing_table.lookup(packet.dst)
+            entry = self.routing_table.lookup(dst)
         except RoutingError:
             self._ctr_unroutable.value += 1
             raise
@@ -135,11 +168,10 @@ class Switch:
         if datalink is None:
             self._ctr_unroutable.value += 1
             raise RoutingError(
-                f"{self.name}: route to node {packet.dst} uses unattached port "
+                f"{self.name}: route to node {dst} uses unattached port "
                 f"{entry.out_port}"
             )
-        self._port_counters[entry.out_port].value += 1
-        datalink.send_and_forget(packet)
+        return datalink, self._port_counters[entry.out_port]
 
     def _eject(self, packet: Packet) -> None:
         self._ctr_ejected.value += 1

@@ -35,7 +35,7 @@ class PacketKind(enum.Enum):
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A transport-layer packet travelling through the fabric.
 
@@ -72,14 +72,17 @@ class Packet:
     hops: int = 0
     corrupted: bool = False
 
+    #: Total bytes on the wire including header/CRC overhead.  A plain
+    #: attribute computed once at construction -- the fabric layers read
+    #: it several times per hop, and a property call per read shows up
+    #: in hot-path profiles.  ``payload_bytes`` is never mutated after
+    #: construction anywhere in the tree.
+    wire_bytes: int = field(init=False, repr=False, compare=False, default=0)
+
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:
             raise ValueError(f"payload_bytes must be non-negative, got {self.payload_bytes}")
-
-    @property
-    def wire_bytes(self) -> int:
-        """Total bytes on the wire including header/CRC overhead."""
-        return self.payload_bytes + HEADER_BYTES
+        self.wire_bytes = self.payload_bytes + HEADER_BYTES
 
     @property
     def flit_count(self) -> int:

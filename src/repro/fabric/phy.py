@@ -6,16 +6,27 @@ bandwidth) and arrive at the far end after an additional propagation /
 PHY latency.  The prototype's programmable-logic throughput caps and
 inserted delays (Section 4.2) are modelled by the ``bandwidth_gbps``
 and ``extra_delay_ns`` knobs.
+
+Hot-path design notes
+---------------------
+Transmission is an event-equivalent callback chain, not a pump process:
+:meth:`PhysicalLink.offer` starts serializing immediately when the link
+is idle, and :meth:`_tx_complete` chains straight into the next queued
+packet's serialization at the same timestamp.  A packet therefore costs
+exactly two scheduled events on the link (serialization end, delivery)
+and zero allocations on the accepted path -- the acceptance
+:class:`SimEvent` is only materialised for blocked senders or for
+process-based callers of :meth:`send`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.sim.engine import Simulator
-from repro.sim.process import Process, SimEvent
-from repro.sim.resources import Store
+from repro.sim.process import SimEvent
 from repro.sim.rng import DeterministicRNG
 from repro.sim.stats import StatsRegistry
 from repro.fabric.packet import Packet
@@ -81,6 +92,13 @@ class PhysicalLink:
 
     def __init__(self, sim: Simulator, config: LinkConfig, name: str = "link",
                  rng: Optional[DeterministicRNG] = None):
+        if config.queue_capacity <= 0:
+            # A zero-slot queue would strand blocked senders forever:
+            # waiters are only admitted when a queued packet starts
+            # serializing.  (The previous Store-based queue enforced the
+            # same bound.)
+            raise ValueError(
+                f"queue_capacity must be positive, got {config.queue_capacity}")
         self.sim = sim
         self.config = config
         self.name = name
@@ -90,22 +108,64 @@ class PhysicalLink:
          self._ctr_bytes, self._ctr_corrupted) = self.stats.bind_counters(
             "packets_offered", "busy_ns", "packets_sent", "bytes_sent",
             "packets_corrupted")
-        self._queue: Store = Store(sim, capacity=config.queue_capacity, name=f"{name}.txq")
+        self._send_name = f"{name}.txq.put"
+        #: Accepted packets waiting for the serializer (excludes the one
+        #: in service); bounded by ``config.queue_capacity``.
+        self._tx_queue: Deque[Packet] = deque()
+        #: Blocked senders: (packet, acceptance event), FIFO.
+        self._tx_waiters: Deque[Tuple[Packet, SimEvent]] = deque()
+        self._tx_busy = False
         self._sink: Optional[Callable[[Packet], None]] = None
-        self._pump = Process(sim, self._transmit_loop(), name=f"{name}.pump")
+        #: Scheduler entry point bound once; two calls per packet.
+        self._call_after = sim.call_after
 
     def connect(self, sink: Callable[[Packet], None]) -> None:
         """Register the receive callback at the far end of the link."""
         self._sink = sink
 
+    @property
+    def queue_depth(self) -> int:
+        """Packets accepted but not yet being serialized."""
+        return len(self._tx_queue)
+
+    def offer(self, packet: Packet) -> Optional[SimEvent]:
+        """Accept ``packet`` for transmission (the per-hop fast path).
+
+        Returns ``None`` when the packet is accepted immediately (link
+        idle, or transmit-queue space available) -- no event allocated.
+        When the queue is full, the packet joins the blocked-sender FIFO
+        and the returned :class:`SimEvent` fires on acceptance (the
+        backpressure point for upper layers).
+        """
+        self._ctr_offered.value += 1
+        if not self._tx_busy:
+            self._tx_busy = True
+            # _tx_start inlined (hot path: one call less per packet).
+            serialization = self.config.serialization_ns(packet.wire_bytes)
+            self._ctr_busy_ns.value += serialization
+            self._call_after(serialization, self._tx_complete, packet)
+            return None
+        if len(self._tx_queue) < self.config.queue_capacity:
+            self._tx_queue.append(packet)
+            return None
+        event = SimEvent(self.sim, name=self._send_name)
+        self._tx_waiters.append((packet, event))
+        return event
+
     def send(self, packet: Packet) -> SimEvent:
         """Enqueue a packet for transmission.
 
         The returned event fires when the packet has been accepted into
-        the transmit queue (backpressure point for upper layers).
+        the transmit queue; process-based callers yield it.  Callback
+        chains use :meth:`offer` instead, which only allocates the
+        event on the blocked path.
         """
-        self._ctr_offered.value += 1
-        return self._queue.put(packet)
+        pending = self.offer(packet)
+        if pending is not None:
+            return pending
+        event = SimEvent(self.sim, name=self._send_name)
+        event._succeeded = True
+        return event
 
     def busy_fraction(self) -> float:
         """Fraction of elapsed time the link spent serializing packets."""
@@ -113,27 +173,37 @@ class PhysicalLink:
             return 0.0
         return self._ctr_busy_ns.value / self.sim.now
 
-    def _transmit_loop(self):
+    # ------------------------------------------------------------------
+    # Transmit callback chain
+    # ------------------------------------------------------------------
+    def _tx_complete(self, packet: Packet) -> None:
         config = self.config
-        queue_get = self._queue.get
-        serialization_ns = config.serialization_ns
-        while True:
-            packet = yield queue_get()
-            wire_bytes = packet.wire_bytes
-            serialization = serialization_ns(wire_bytes)
+        wire_bytes = packet.wire_bytes
+        self._ctr_sent.value += 1
+        self._ctr_bytes.value += wire_bytes
+        if config.bit_error_rate > 0.0:
+            error_probability = min(
+                1.0, config.bit_error_rate * wire_bytes * 8
+            )
+            if self.rng.bernoulli(error_probability):
+                packet.corrupted = True
+                self._ctr_corrupted.increment()
+        self._call_after(config.phy_latency_ns + config.extra_delay_ns,
+                         self._deliver, packet)
+        queue = self._tx_queue
+        if queue:
+            # Chain straight into the next serialization; a freed queue
+            # slot admits the oldest blocked sender.
+            nxt = queue.popleft()
+            if self._tx_waiters:
+                waiting_packet, event = self._tx_waiters.popleft()
+                queue.append(waiting_packet)
+                event.succeed(None)
+            serialization = config.serialization_ns(nxt.wire_bytes)
             self._ctr_busy_ns.value += serialization
-            yield serialization
-            self._ctr_sent.value += 1
-            self._ctr_bytes.value += wire_bytes
-            if config.bit_error_rate > 0.0:
-                error_probability = min(
-                    1.0, config.bit_error_rate * wire_bytes * 8
-                )
-                if self.rng.bernoulli(error_probability):
-                    packet.corrupted = True
-                    self._ctr_corrupted.increment()
-            delivery_delay = config.phy_latency_ns + config.extra_delay_ns
-            self.sim.call_after(delivery_delay, self._deliver, packet)
+            self._call_after(serialization, self._tx_complete, nxt)
+        else:
+            self._tx_busy = False
 
     def _deliver(self, packet: Packet) -> None:
         packet.hops += 1

@@ -5,16 +5,20 @@ resource-sharing nodes and measures the additional end-to-end overhead
 (Figure 6).  The external router is a store-and-forward device: every
 packet pays an extra PHY crossing plus the router's own forwarding
 latency, and contended output ports serialise.
+
+Forwarding is an event-equivalent callback chain (one scheduled event
+per packet for the forwarding latency), mirroring the datalink and PHY
+layers: the ingress queue plus a busy flag replace the previous
+Store + pump process, so relaying a packet resumes no generator.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Deque, Dict, Optional
 
 from repro.sim.engine import Simulator
-from repro.sim.process import Process
-from repro.sim.resources import Store
 from repro.sim.stats import StatsRegistry
 from repro.fabric.packet import Packet
 from repro.fabric.phy import LinkConfig, PhysicalLink
@@ -55,10 +59,10 @@ class ExternalRouter:
          self._ctr_forwarded) = self.stats.bind_counters(
             "packets_received", "packets_dropped", "packets_unroutable",
             "packets_forwarded")
-        self._ingress: Store = Store(sim, capacity=self.config.port_buffer_packets,
-                                     name=f"{name}.ingress")
+        self._ingress: Deque[Packet] = deque()
+        self._fwd_busy = False
+        self._fwd_ns = self.config.forwarding_latency_ns
         self._downlinks: Dict[int, PhysicalLink] = {}
-        self._pump = Process(sim, self._forward_loop(), name=f"{name}.pump")
 
     def attach_node(self, node_id: int, sink) -> PhysicalLink:
         """Attach a node; returns the router-to-node link feeding ``sink``."""
@@ -74,24 +78,44 @@ class ExternalRouter:
     def receive(self, packet: Packet) -> None:
         """Ingress callback for node-to-router links."""
         self._ctr_received.value += 1
-        if not self._ingress.try_put(packet):
-            self._ctr_dropped.value += 1
+        if self._fwd_busy:
+            if len(self._ingress) >= self.config.port_buffer_packets:
+                self._ctr_dropped.value += 1
+                return
+            self._ingress.append(packet)
+        else:
+            self._fwd_busy = True
+            self.sim.call_after(self._fwd_ns, self._forward, packet)
 
     def added_latency_ns(self, wire_bytes: int) -> int:
         """Extra one-way latency a packet pays by crossing this router."""
         extra_phy = self.config.link.packet_latency_ns(wire_bytes)
         return self.config.forwarding_latency_ns + extra_phy
 
-    def _forward_loop(self):
-        forwarding_latency = self.config.forwarding_latency_ns
-        ingress_get = self._ingress.get
-        downlinks = self._downlinks
-        while True:
-            packet = yield ingress_get()
-            yield forwarding_latency
-            downlink = downlinks.get(packet.dst)
-            if downlink is None:
-                self._ctr_unroutable.value += 1
-                continue
-            self._ctr_forwarded.value += 1
-            yield downlink.send(packet)
+    # ------------------------------------------------------------------
+    # Forwarding callback chain
+    # ------------------------------------------------------------------
+    def _forward(self, packet: Packet) -> None:
+        downlink = self._downlinks.get(packet.dst)
+        if downlink is None:
+            self._ctr_unroutable.value += 1
+            self._next_or_idle()
+            return
+        self._ctr_forwarded.value += 1
+        pending = downlink.offer(packet)
+        if pending is None:
+            self._next_or_idle()
+        else:
+            # Store-and-forward backpressure: the pipeline stalls until
+            # the congested downlink accepts the packet.
+            pending.add_waiter(self._resume_pipeline)
+
+    def _resume_pipeline(self, _value=None) -> None:
+        self._next_or_idle()
+
+    def _next_or_idle(self) -> None:
+        if self._ingress:
+            self.sim.call_after(self._fwd_ns, self._forward,
+                                self._ingress.popleft())
+        else:
+            self._fwd_busy = False

@@ -7,30 +7,54 @@ are built on top of :meth:`Simulator.schedule`.
 Hot-path design notes
 ---------------------
 Queue entries are plain lists ``[time, seq, callback, args]`` rather
-than objects with an ``__lt__`` method: ``heapq`` then compares entries
-with C-level list comparison (time first, then the unique sequence
-number, never reaching the callback), which removes a Python-level
-method call per heap comparison.
+than objects with an ``__lt__`` method: the timer queues then compare
+entries with C-level list comparison (time first, then the unique
+sequence number, never reaching the callback), which removes a
+Python-level method call per comparison.
 
 Zero-delay events -- process resumes, event wake-ups and other
 callbacks scheduled *at the current timestamp while it is being
-processed* -- bypass the heap entirely and go to a FIFO *ready* deque.
-This preserves the global (time, seq) execution order: every heap entry
-due at the current timestamp was created strictly earlier (the clock
-had not reached that time yet) and therefore carries a smaller sequence
-number than any ready entry, so draining heap entries at the current
-time first and the ready deque second is exactly seq order.
+processed* -- bypass the timer queue entirely and go to a FIFO *ready*
+deque.  This preserves the global (time, seq) execution order: every
+timer entry due at the current timestamp was created strictly earlier
+(the clock had not reached that time yet) and therefore carries a
+smaller sequence number than any ready entry, so draining timer entries
+at the current time first and the ready deque second is exactly seq
+order.
+
+Two timer backends sit behind the same API:
+
+* ``heap`` -- a binary heap (``heapq``).  O(log n) per operation,
+  robust for sparse or long-horizon timer populations.
+* ``calendar`` -- a calendar queue (bucketed timing wheel).  Timers
+  hash into power-of-two-width buckets by ``time >> shift``; the bucket
+  for the current *day* is sorted once (C timsort) into the *current
+  run* and dispatched in order, while same-day insertions go through a
+  C ``bisect.insort``.  Pushes are O(1) list appends for future days,
+  which beats the heap when many short delays are in flight at once
+  (the fabric workloads).  Both backends dispatch in exactly the same
+  (time, seq) order, so simulation results are byte-identical.
+
+``scheduler="auto"`` (the default) starts on the heap and adopts the
+calendar at the top of a :meth:`run` call when the pending timer
+population is dense: at least ``_AUTO_CALENDAR_MIN_PENDING`` timers
+whose mean spacing is within a few bucket widths.  Sparse populations
+(e.g. a handful of long watchdog timers) stay on the heap, where one
+rotation of mostly-empty buckets would otherwise be wasted work.  The
+adoption decision reads only simulator state, never the wall clock, so
+it is deterministic.
 
 Cancellation clears the callback slot in place (``entry[2] = None``);
 cancelled entries are purged lazily when they surface, and
 :meth:`drain_cancelled` compacts eagerly when cancellations pile up.
 :meth:`run` dispatches in a single pass -- one traversal per event
-instead of the previous ``peek()`` + ``step()`` pair -- and batches
+instead of a ``peek()`` + ``step()`` pair -- and batches
 same-timestamp callbacks without re-checking the deadline between them.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Deque, List, Optional
@@ -45,6 +69,15 @@ _TIME, _SEQ, _CALLBACK, _ARGS, _SINGLE = 0, 1, 2, 3, 4
 #: live entries (see :meth:`Simulator.cancel`).
 _AUTO_DRAIN_MIN_CANCELLED = 512
 
+#: ``scheduler="auto"`` adopts the calendar backend only when at least
+#: this many timers are pending at the top of a ``run()`` call (small
+#: enough that reactive closed-loop workloads, which only pre-schedule
+#: their initial request windows, still qualify) ...
+_AUTO_CALENDAR_MIN_PENDING = 16
+#: ... and their mean spacing is at most this many bucket widths (a
+#: dense population; sparse populations stay on the heap).
+_AUTO_CALENDAR_MAX_GAP_BUCKETS = 4
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an invalid state."""
@@ -54,10 +87,31 @@ class Simulator:
     """Event loop with an integer nanosecond clock.
 
     The simulator is single-threaded and deterministic: callbacks
-    scheduled for the same timestamp run in scheduling order.
+    scheduled for the same timestamp run in scheduling order, whichever
+    timer backend is active.
+
+    Parameters
+    ----------
+    scheduler:
+        ``"heap"``, ``"calendar"`` or ``"auto"`` (default).  ``auto``
+        starts on the heap and switches to the calendar queue when a
+        dense short-delay timer population shows up (see module notes).
+    calendar_bucket_ns:
+        Bucket (day) width of the calendar backend, power of two.
+    calendar_buckets:
+        Number of buckets (one rotation covers ``bucket_ns * buckets``
+        nanoseconds), power of two.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: str = "auto", calendar_bucket_ns: int = 128,
+                 calendar_buckets: int = 8192) -> None:
+        if scheduler not in ("auto", "heap", "calendar"):
+            raise ValueError(f"unknown scheduler {scheduler!r} "
+                             "(expected 'heap', 'calendar' or 'auto')")
+        if calendar_bucket_ns <= 0 or calendar_bucket_ns & (calendar_bucket_ns - 1):
+            raise ValueError("calendar_bucket_ns must be a positive power of two")
+        if calendar_buckets <= 0 or calendar_buckets & (calendar_buckets - 1):
+            raise ValueError("calendar_buckets must be a positive power of two")
         self._now: int = 0
         self._seq: int = 0
         self._queue: List[list] = []
@@ -65,6 +119,19 @@ class Simulator:
         self._running = False
         self._event_count = 0
         self._cancelled = 0
+        self._policy = scheduler
+        self._cal_bucket_ns = calendar_bucket_ns
+        self._cal_shift = calendar_bucket_ns.bit_length() - 1
+        self._cal_mask = calendar_buckets - 1
+        self._cal_active = False
+        self._cal_buckets: List[List[list]] = []
+        self._cal_count = 0  # entries parked in buckets (not in the run)
+        self._cal_day = 0
+        self._cur: List[list] = []  # sorted run for days <= _cal_day
+        self._cur_idx = 0
+        self._auto_checked_pending = 0
+        if scheduler == "calendar":
+            self._activate_calendar()
 
     @property
     def now(self) -> int:
@@ -73,16 +140,163 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Total number of callbacks executed so far."""
+        """Total number of callbacks executed so far.
+
+        Inside :meth:`run` the counter is accumulated locally and
+        flushed when the loop exits (including on error), so a callback
+        reading it mid-run sees the count as of the run's start; every
+        external observer (after ``run`` returns or raises) sees exact
+        accounting.
+        """
         return self._event_count
+
+    @property
+    def scheduler(self) -> str:
+        """Timer backend currently in use (``"heap"`` or ``"calendar"``)."""
+        return "calendar" if self._cal_active else "heap"
+
+    @property
+    def scheduler_policy(self) -> str:
+        """The backend selection policy this simulator was built with."""
+        return self._policy
 
     def __len__(self) -> int:
         """Pending queue entries, including not-yet-purged cancellations."""
+        if self._cal_active:
+            return (len(self._cur) - self._cur_idx + self._cal_count
+                    + len(self._ready))
         return len(self._queue) + len(self._ready)
+
+    # ------------------------------------------------------------------
+    # Calendar backend plumbing
+    # ------------------------------------------------------------------
+    def _activate_calendar(self) -> None:
+        """Switch the timer backend to the calendar queue.
+
+        Pending heap entries migrate in place (the entry lists move, so
+        outstanding cancellation handles stay valid).
+        """
+        self._cal_buckets = [[] for _ in range(self._cal_mask + 1)]
+        self._cal_active = True
+        shift = self._cal_shift
+        mask = self._cal_mask
+        self._cal_day = self._now >> shift
+        queue = self._queue
+        if queue:
+            cal_day = self._cal_day
+            buckets = self._cal_buckets
+            parked = 0
+            for entry in queue:
+                if entry[_CALLBACK] is None:
+                    self._cancelled -= 1
+                    continue
+                day = entry[_TIME] >> shift
+                if day <= cal_day:
+                    insort(self._cur, entry, self._cur_idx)
+                else:
+                    buckets[day & mask].append(entry)
+                    parked += 1
+            self._cal_count += parked
+            self._queue = []
+
+    def _maybe_adopt_calendar(self) -> None:
+        """``auto`` policy: adopt the calendar for dense timer populations.
+
+        The density scan is O(pending), so after a failed check it is
+        re-attempted only once the population has doubled -- repeated
+        ``run()`` calls over a stable sparse population stay O(1).
+        """
+        queue = self._queue
+        pending = len(queue)
+        if (pending < _AUTO_CALENDAR_MIN_PENDING
+                or pending < 2 * self._auto_checked_pending):
+            return
+        span = max(entry[_TIME] for entry in queue) - self._now
+        if span // pending <= self._cal_bucket_ns * _AUTO_CALENDAR_MAX_GAP_BUCKETS:
+            self._activate_calendar()
+        else:
+            self._auto_checked_pending = pending
+
+    def _cal_advance(self) -> bool:
+        """Load the next non-empty day into the current sorted run.
+
+        Scans forward one bucket per day; if a whole rotation is empty
+        (every pending timer is more than ``buckets * bucket_ns`` away)
+        it jumps straight to the earliest pending day -- the sparse
+        fallback that keeps long-horizon timers correct, if not fast.
+        """
+        if not self._cal_count:
+            return False
+        shift = self._cal_shift
+        mask = self._cal_mask
+        buckets = self._cal_buckets
+        day = self._cal_day
+        for _ in range(mask + 1):
+            day += 1
+            bucket = buckets[day & mask]
+            if bucket:
+                run = [e for e in bucket if (e[_TIME] >> shift) == day]
+                if run:
+                    break
+        else:
+            # Sparse fallback: nothing within one rotation.
+            day = min(entry[_TIME] >> shift
+                      for bucket in buckets for entry in bucket)
+            bucket = buckets[day & mask]
+            run = [e for e in bucket if (e[_TIME] >> shift) == day]
+        if len(run) == len(bucket):
+            buckets[day & mask] = []
+        else:
+            buckets[day & mask] = [e for e in bucket
+                                   if (e[_TIME] >> shift) != day]
+        run.sort()
+        self._cur = run
+        self._cur_idx = 0
+        self._cal_count -= len(run)
+        self._cal_day = day
+        return True
+
+    def _cal_next(self) -> Optional[list]:
+        """Earliest live timer entry, or ``None``; purges cancellations.
+
+        The returned entry is *not* popped; callers that dispatch it
+        advance ``_cur_idx`` themselves.
+        """
+        while True:
+            cur = self._cur
+            idx = self._cur_idx
+            n = len(cur)
+            while idx < n:
+                entry = cur[idx]
+                if entry[_CALLBACK] is None:
+                    idx += 1
+                    self._cancelled -= 1
+                    continue
+                self._cur_idx = idx
+                return entry
+            self._cur_idx = idx
+            if not self._cal_advance():
+                return None
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def _push_timer(self, entry: list) -> None:
+        """Park a future-time entry in the active timer backend."""
+        if self._cal_active:
+            day = entry[_TIME] >> self._cal_shift
+            if day <= self._cal_day:
+                # Same-day (or already-loaded-day) push: ordered insert
+                # into the current sorted run.  Entries before _cur_idx
+                # are spent and strictly smaller, so a lo=0 bisect would
+                # be correct too -- lo=_cur_idx just skips them.
+                insort(self._cur, entry, self._cur_idx)
+            else:
+                self._cal_buckets[day & self._cal_mask].append(entry)
+                self._cal_count += 1
+        else:
+            heappush(self._queue, entry)
+
     def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> list:
         """Schedule ``callback(*args)`` to run ``delay`` ns from now.
 
@@ -95,7 +309,7 @@ class Simulator:
         if delay == 0:
             self._ready.append(entry)
         else:
-            heappush(self._queue, entry)
+            self._push_timer(entry)
         return entry
 
     def schedule_at(self, time: int, callback: Callable[..., None], *args: Any) -> list:
@@ -109,7 +323,7 @@ class Simulator:
         if time == self._now:
             self._ready.append(entry)
         else:
-            heappush(self._queue, entry)
+            self._push_timer(entry)
         return entry
 
     def call_soon(self, callback: Callable[..., None], value: Any = None) -> list:
@@ -117,7 +331,7 @@ class Simulator:
 
         Used by the process/event trampoline for resume and wake-up
         callbacks whose delay is always zero; skips delay validation and
-        the heap.
+        the timer queue.
         """
         entry = [self._now, self._seq, callback, value, True]
         self._seq += 1
@@ -137,7 +351,15 @@ class Simulator:
         entry = [self._now + delay, self._seq, callback, value, True]
         self._seq += 1
         if delay > 0:
-            heappush(self._queue, entry)
+            if self._cal_active:
+                day = entry[0] >> self._cal_shift
+                if day <= self._cal_day:
+                    insort(self._cur, entry, self._cur_idx)
+                else:
+                    self._cal_buckets[day & self._cal_mask].append(entry)
+                    self._cal_count += 1
+            else:
+                heappush(self._queue, entry)
         elif delay == 0:
             self._ready.append(entry)
         else:
@@ -154,15 +376,15 @@ class Simulator:
         (the dispatch loop marks entries spent).  A live cancelled entry
         stays queued until it either surfaces or an automatic or
         explicit :meth:`drain_cancelled` compacts the queue, so
-        long-lived runs with many cancelled timers do not grow the heap
-        without bound.
+        long-lived runs with many cancelled timers do not grow the
+        timer queues without bound.
         """
         if handle[_CALLBACK] is not None:
             handle[_CALLBACK] = None
             handle[_ARGS] = None
             self._cancelled += 1
             if (self._cancelled >= _AUTO_DRAIN_MIN_CANCELLED
-                    and self._cancelled * 2 >= len(self._queue) + len(self._ready)):
+                    and self._cancelled * 2 >= len(self)):
                 self.drain_cancelled()
 
     def is_cancelled(self, handle: list) -> bool:
@@ -174,32 +396,48 @@ class Simulator:
 
         Returns the number of entries removed.  ``run``/``step`` purge
         cancelled entries lazily when they reach the front; this
-        compaction keeps the heap small when many timers are cancelled
-        long before their deadline (retry timers, watchdogs).
+        compaction keeps the timer queues small when many timers are
+        cancelled long before their deadline (retry timers, watchdogs).
         """
-        before = len(self._queue) + len(self._ready)
-        # Compact in place: run() holds direct references to both
-        # containers, so they must never be rebound mid-run.
-        self._queue[:] = [entry for entry in self._queue
-                          if entry[_CALLBACK] is not None]
-        heapify(self._queue)
+        # A full drain removes exactly the not-yet-purged cancellations,
+        # which _cancelled tracks precisely.  (A length delta would be
+        # wrong when called from a callback mid-run on the calendar
+        # backend: the run loop keeps its cursor in a local, so len()
+        # may still count already-dispatched entries of the current run.)
+        removed = self._cancelled
+        if self._cal_active:
+            # The run loop re-reads _cur/_cur_idx every iteration, so
+            # rebinding them mid-run (auto-drain from cancel()) is safe.
+            self._cur = [entry for entry in self._cur[self._cur_idx:]
+                         if entry[_CALLBACK] is not None]
+            self._cur_idx = 0
+            buckets = self._cal_buckets
+            for index, bucket in enumerate(buckets):
+                if bucket:
+                    live = [entry for entry in bucket
+                            if entry[_CALLBACK] is not None]
+                    if len(live) != len(bucket):
+                        buckets[index] = live
+            self._cal_count = sum(len(bucket) for bucket in buckets)
+        else:
+            # Compact in place: the heap run loop holds direct references
+            # to both containers, so they must never be rebound mid-run.
+            self._queue[:] = [entry for entry in self._queue
+                              if entry[_CALLBACK] is not None]
+            heapify(self._queue)
         if self._ready:
             live = [entry for entry in self._ready
                     if entry[_CALLBACK] is not None]
             self._ready.clear()
             self._ready.extend(live)
         self._cancelled = 0
-        return before - len(self._queue) - len(self._ready)
+        return removed
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _purge(self) -> None:
-        """Drop cancelled entries from the front of both queues."""
-        queue = self._queue
-        while queue and queue[0][_CALLBACK] is None:
-            heappop(queue)
-            self._cancelled -= 1
+    def _purge_ready(self) -> None:
+        """Drop cancelled entries from the front of the ready deque."""
         ready = self._ready
         while ready and ready[0][_CALLBACK] is None:
             ready.popleft()
@@ -207,11 +445,20 @@ class Simulator:
 
     def peek(self) -> Optional[int]:
         """Return the timestamp of the next pending event, or ``None``."""
-        self._purge()
+        self._purge_ready()
+        if self._cal_active:
+            entry = self._cal_next()
+            if self._ready:
+                return self._now
+            return entry[_TIME] if entry is not None else None
+        queue = self._queue
+        while queue and queue[0][_CALLBACK] is None:
+            heappop(queue)
+            self._cancelled -= 1
         if self._ready:
             return self._now
-        if self._queue:
-            return self._queue[0][_TIME]
+        if queue:
+            return queue[0][_TIME]
         return None
 
     def step(self) -> bool:
@@ -221,19 +468,34 @@ class Simulator:
         queue was empty.
         """
         while True:
-            self._purge()
-            queue = self._queue
-            if self._ready:
-                # Heap entries due at the current time predate every
-                # ready entry (see module docstring) and so run first.
-                if queue and queue[0][_TIME] <= self._now:
+            self._purge_ready()
+            if self._cal_active:
+                entry = self._cal_next()
+                if self._ready:
+                    # Timer entries due now predate every ready entry
+                    # (see module docstring) and so run first.
+                    if entry is not None and entry[_TIME] <= self._now:
+                        self._cur_idx += 1
+                    else:
+                        entry = self._ready.popleft()
+                elif entry is not None:
+                    self._cur_idx += 1
+                else:
+                    return False
+            else:
+                queue = self._queue
+                while queue and queue[0][_CALLBACK] is None:
+                    heappop(queue)
+                    self._cancelled -= 1
+                if self._ready:
+                    if queue and queue[0][_TIME] <= self._now:
+                        entry = heappop(queue)
+                    else:
+                        entry = self._ready.popleft()
+                elif queue:
                     entry = heappop(queue)
                 else:
-                    entry = self._ready.popleft()
-            elif queue:
-                entry = heappop(queue)
-            else:
-                return False
+                    return False
             callback = entry[_CALLBACK]
             if callback is None:
                 self._cancelled -= 1
@@ -271,7 +533,17 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
+        if not self._cal_active and self._policy == "auto":
+            self._maybe_adopt_calendar()
         self._running = True
+        try:
+            if self._cal_active:
+                return self._run_calendar(until, max_events)
+            return self._run_heap(until, max_events)
+        finally:
+            self._running = False
+
+    def _run_heap(self, until: Optional[int], max_events: Optional[int]) -> int:
         queue = self._queue
         ready = self._ready
         pop = heappop
@@ -325,9 +597,6 @@ class Simulator:
                 else:
                     break
                 executed += 1
-                # Keep the public counter exact per event, so callbacks
-                # reading events_processed mid-run see live accounting.
-                self._event_count += 1
                 callback = entry[_CALLBACK]
                 # Mark the entry spent so a late cancel() is a no-op.
                 entry[_CALLBACK] = None
@@ -335,10 +604,140 @@ class Simulator:
                     callback(entry[_ARGS])
                 else:
                     callback(*entry[_ARGS])
-            if until is not None and until > self._now:
-                self._now = until
         finally:
-            self._running = False
+            # Flushed on every exit path so events_processed is exact
+            # even when a callback raises or the budget trips.
+            self._event_count += executed
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def _run_calendar(self, until: Optional[int], max_events: Optional[int]) -> int:
+        ready = self._ready
+        popleft = ready.popleft
+        executed = 0
+        budget = -1 if max_events is None else max_events
+        # Integer sentinel far beyond any plausible simulated time keeps
+        # the per-event deadline compare int-vs-int (a float("inf")
+        # compare is measurably slower in the hot loop).
+        deadline = (1 << 63) if until is None else until
+        now = self._now
+        # The run cursor lives in locals for the whole loop.  Callbacks
+        # that insort into the run mutate the same list object (safe: the
+        # insertion point is always at or after ``idx``, because pending
+        # entries before it are strictly smaller), and the only rebinding
+        # mutator -- drain_cancelled, via a callback's cancel() -- is
+        # detected by the identity check after each dispatch.  Writing
+        # ``self._cur_idx`` lazily is safe because its readers use it as
+        # a bisect lo-hint (push), a slice start whose spent prefix
+        # filters out anyway (drain), or an upper-bound count (__len__).
+        cur = self._cur
+        idx = self._cur_idx
+        try:
+            while now <= deadline:
+                if ready:
+                    # Timer entries due now predate the ready entries.
+                    # Any entry due <= now lives in the current run (the
+                    # push rule sends same-day entries there and _cal_day
+                    # tracks the day of the clock), so checking the run
+                    # suffices.
+                    entry = None
+                    if idx < len(cur):
+                        head = cur[idx]
+                        if head[_TIME] <= now:
+                            if head[_CALLBACK] is None:
+                                idx += 1
+                                self._cancelled -= 1
+                                continue
+                            if executed == budget:
+                                raise SimulationError(
+                                    f"exceeded max_events={max_events}; "
+                                    "possible livelock"
+                                )
+                            entry = head
+                            idx += 1
+                    if entry is None:
+                        entry = ready[0]
+                        if entry[_CALLBACK] is None:
+                            popleft()
+                            self._cancelled -= 1
+                            continue
+                        if executed == budget:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; possible livelock"
+                            )
+                        popleft()
+                else:
+                    if idx >= len(cur):
+                        self._cur_idx = idx
+                        if not self._cal_advance():
+                            break
+                        cur = self._cur
+                        idx = 0
+                    # Inner batch: dispatch the run back to back while no
+                    # ready entries appear.  The IndexError guard doubles
+                    # as the bounds check (zero-cost try in 3.11); the
+                    # run can grow mid-batch because callbacks insort
+                    # into it (always at or after idx, so the cursor
+                    # stays valid).
+                    stop = False
+                    while True:
+                        try:
+                            entry = cur[idx]
+                        except IndexError:
+                            break
+                        callback = entry[_CALLBACK]
+                        if callback is None:
+                            idx += 1
+                            self._cancelled -= 1
+                            continue
+                        time = entry[_TIME]
+                        if time > deadline:
+                            stop = True
+                            break
+                        if executed == budget:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; possible livelock"
+                            )
+                        idx += 1
+                        now = self._now = time
+                        executed += 1
+                        entry[_CALLBACK] = None
+                        if entry[_SINGLE]:
+                            callback(entry[_ARGS])
+                        else:
+                            callback(*entry[_ARGS])
+                        if cur is not self._cur:
+                            # drain_cancelled rebound the run; our spent
+                            # entries were filtered out of the fresh one.
+                            cur = self._cur
+                            idx = self._cur_idx
+                        if ready:
+                            break
+                    if stop:
+                        break
+                    continue
+                executed += 1
+                callback = entry[_CALLBACK]
+                entry[_CALLBACK] = None
+                if entry[_SINGLE]:
+                    callback(entry[_ARGS])
+                else:
+                    callback(*entry[_ARGS])
+                if cur is not self._cur:
+                    # drain_cancelled rebound the run mid-dispatch; the
+                    # entries we already spent were filtered out of the
+                    # fresh run, so restart the cursor from its state.
+                    cur = self._cur
+                    idx = self._cur_idx
+        finally:
+            # Flushed on every exit path so events_processed and the
+            # run cursor are exact even when a callback raises.
+            self._event_count += executed
+            if cur is self._cur:
+                self._cur_idx = idx
+        if until is not None and until > self._now:
+            self._now = until
         return self._now
 
     def run_until_idle(self, max_events: int = 50_000_000) -> int:

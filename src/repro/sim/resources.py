@@ -162,9 +162,13 @@ class CreditPool:
         self._take_name = name + ".take"
         self._credits = initial
         self._waiters: Deque[tuple] = deque()  # (event, amount)
+        #: Credits accrued towards the next coalesced flush (see
+        #: :meth:`schedule_replenish`).
+        self._pending_replenish = 0
         self.total_taken = 0
         self.total_replenished = 0
         self.stall_count = 0
+        self.flush_count = 0
 
     @property
     def available(self) -> int:
@@ -213,7 +217,48 @@ class CreditPool:
             self._credits -= want
             self.total_taken += want
             event.succeed(None)
-        self._credits = min(self.maximum, self._credits)
+        if self._credits > self.maximum:
+            self._credits = self.maximum
+
+    def schedule_replenish(self, amount: int = 1, delay: int = 0) -> None:
+        """Return ``amount`` credits ``delay`` ns from now, coalesced.
+
+        Batched credit return: the first pending credit arms a single
+        flush event ``delay`` ns out, and credits accrued before it
+        fires ride along in the same wakeup pass -- N returns coalesce
+        into one :meth:`replenish` (and therefore one waiter-granting
+        sweep) instead of N events.  The window is anchored at the
+        *first* credit's deadline: the ``delay`` of later calls in the
+        window is ignored, so with a constant per-caller delay (the
+        datalink's fixed return latency) coalesced credits return at or
+        before their own deadline, while mixed delays may return a
+        credit earlier or later than its own ``delay`` would.  Receivers
+        only return credits for buffer slots that have already drained,
+        so an early return cannot overflow.
+
+        Flush-on-idle guarantee: arming is unconditional -- pending
+        credits always have a scheduled flush event, so the batch can
+        never be stranded and no waiter is left blocked when the
+        simulation quiesces.
+        """
+        if amount <= 0:
+            raise ValueError(f"replenish amount must be positive, got {amount}")
+        if self._pending_replenish:
+            self._pending_replenish += amount
+            return
+        self._pending_replenish = amount
+        self.sim.call_after(delay, self._flush_replenish)
+
+    def _flush_replenish(self, _value=None) -> None:
+        amount = self._pending_replenish
+        self._pending_replenish = 0
+        self.flush_count += 1
+        self.replenish(amount)
+
+    @property
+    def pending_replenish(self) -> int:
+        """Credits accrued towards the next coalesced flush."""
+        return self._pending_replenish
 
     def pending_waiters(self) -> int:
         return len(self._waiters)

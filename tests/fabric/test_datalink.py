@@ -102,3 +102,22 @@ def test_default_config_values_sane():
     config = DataLinkConfig()
     assert config.credits > 0
     assert config.max_replays > 0
+
+
+def test_fast_path_cannot_overtake_parked_packets(sim):
+    # After a coalesced flush grants a parked packet, the grant callback
+    # sits in the ready queue while the pool already shows free credits.
+    # A send_and_forget racing in at that instant must queue behind the
+    # parked packet, not take a credit inline and overtake it.
+    datalink = build_datalink(sim, credits=2)
+    received = []
+    datalink.connect(received.append)
+    packets = [make_packet() for _ in range(4)]
+    for packet in packets[:3]:          # A, B take credits; C parks
+        datalink.send_and_forget(packet)
+    datalink.credits.replenish(2)       # grants C, leaves 1 free credit
+    datalink.send_and_forget(packets[3])  # D races the parked grant
+    sim.run_until_idle()
+    assert [packet.sequence for packet in received] == [0, 1, 2, 3]
+    assert [packet.packet_id for packet in received] == \
+        [packet.packet_id for packet in packets]

@@ -84,6 +84,30 @@ def test_switch_forwards_to_attached_port(sim):
     assert switch.stats.counter("port1_forwarded").value == 1
 
 
+def test_reattaching_a_port_invalidates_resolved_routes(sim):
+    switch = Switch(sim, node_id=0)
+    link_a = PhysicalLink(sim, LinkConfig())
+    datalink_a = DataLink(sim, link_a, DataLinkConfig())
+    via_a = []
+    datalink_a.connect(via_a.append)
+    switch.attach_output(1, datalink_a)
+    switch.routing_table.install(node_id=2, out_port=1)
+    switch.inject(make_packet(src=0, dst=2))
+    sim.run_until_idle()
+    assert len(via_a) == 1
+    # Replace the datalink behind port 1: the resolved-route cache must
+    # not keep forwarding through the old one.
+    link_b = PhysicalLink(sim, LinkConfig())
+    datalink_b = DataLink(sim, link_b, DataLinkConfig())
+    via_b = []
+    datalink_b.connect(via_b.append)
+    switch.attach_output(1, datalink_b)
+    switch.inject(make_packet(src=0, dst=2))
+    sim.run_until_idle()
+    assert len(via_a) == 1
+    assert len(via_b) == 1
+
+
 def test_switch_unroutable_packet_raises(sim):
     switch = Switch(sim, node_id=0)
     switch.attach_local_sink(lambda packet: None)

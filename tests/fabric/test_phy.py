@@ -85,6 +85,13 @@ def test_error_free_link_never_corrupts(sim):
     assert all(not packet.corrupted for packet in received)
 
 
+def test_zero_capacity_queue_rejected_at_construction(sim):
+    # A zero-slot transmit queue would strand blocked senders forever
+    # (waiters are only admitted when a queued packet starts serializing).
+    with pytest.raises(ValueError):
+        PhysicalLink(sim, LinkConfig(queue_capacity=0))
+
+
 def test_busy_fraction_reflects_utilisation(sim):
     link = PhysicalLink(sim, LinkConfig())
     link.connect(lambda packet: None)

@@ -1,13 +1,18 @@
 """Determinism regression guard for the fast-path engine rewrite.
 
 The engine optimisations (fused dispatch loop, ready-queue fast path,
-callback-chain sends) must preserve event ordering exactly: the same
+callback-chain receive path, calendar-queue scheduler, batched credit
+returns) must preserve event ordering exactly: the same
 ``DeterministicRNG`` seed over the same fleet has to produce
-byte-identical statistics, run after run.  These tests drive a 16-node
-star sweep over the full event fabric -- the heaviest deterministic
-workload in the suite -- and compare canonical JSON dumps of every
-component's statistics between two independent executions.
+byte-identical statistics, run after run -- and **across timer
+backends**: the calendar queue dispatches in exactly the same
+(time, seq) order as the binary heap, so their stats dumps must match
+byte for byte too.  These tests drive a 16-node star sweep over the
+full event fabric -- the heaviest deterministic workload in the suite
+-- and compare canonical JSON dumps of every component's statistics.
 """
+
+from dataclasses import replace
 
 from repro.cluster import Cluster, ClusterConfig
 from repro.experiments.fig_cluster_contention import (
@@ -26,10 +31,12 @@ STAR16 = ClusterContentionConfig(
 )
 
 
-def star16_dump(seed: int, contended: bool = True) -> str:
+def star16_dump(seed: int, contended: bool = True, scheduler: str = "auto",
+                closed_loop: bool = False) -> str:
+    config = replace(STAR16, scheduler=scheduler, closed_loop=closed_loop)
     cluster = Cluster(ClusterConfig(num_nodes=16, topology="star"))
-    probes = _probe_plan(cluster, STAR16, DeterministicRNG(seed))
-    run = _FabricRun(cluster, STAR16, probes, contended=contended,
+    probes = _probe_plan(cluster, config, DeterministicRNG(seed))
+    run = _FabricRun(cluster, config, probes, contended=contended,
                      rng=DeterministicRNG(seed))
     return run.stats_dump()
 
@@ -45,6 +52,36 @@ def test_same_seed_star16_uncontended_is_byte_identical():
         seed=7, contended=False)
 
 
+def test_heap_and_calendar_backends_are_byte_identical():
+    # The calendar queue must preserve exact (time, seq) dispatch order:
+    # the same seed under either backend yields the same stats dump.
+    heap = star16_dump(seed=7, scheduler="heap")
+    calendar = star16_dump(seed=7, scheduler="calendar")
+    assert heap == calendar
+
+
+def test_heap_and_calendar_backends_identical_uncontended():
+    assert star16_dump(seed=7, contended=False, scheduler="heap") == \
+        star16_dump(seed=7, contended=False, scheduler="calendar")
+
+
+def test_heap_and_calendar_backends_identical_closed_loop():
+    heap = star16_dump(seed=7, scheduler="heap", closed_loop=True)
+    calendar = star16_dump(seed=7, scheduler="calendar", closed_loop=True)
+    assert heap == calendar
+
+
+def test_same_seed_closed_loop_is_byte_identical():
+    first = star16_dump(seed=7, closed_loop=True)
+    second = star16_dump(seed=7, closed_loop=True)
+    assert first == second
+
+
+def test_closed_loop_differs_from_open_loop():
+    # The responses double the traffic, so the dumps must differ.
+    assert star16_dump(seed=7) != star16_dump(seed=7, closed_loop=True)
+
+
 def test_different_seed_changes_the_sweep():
     # Sanity check that the dump actually captures the traffic pattern
     # (otherwise the byte-identity assertions above would be vacuous).
@@ -54,6 +91,15 @@ def test_different_seed_changes_the_sweep():
 def test_contention_report_is_reproducible():
     config = ClusterContentionConfig(node_counts=(2, 4), probes_per_node=2,
                                      cross_traffic_per_node=4)
+    first = run_fig_cluster_contention(config)
+    second = run_fig_cluster_contention(config)
+    assert first.series == second.series
+
+
+def test_closed_loop_report_is_reproducible():
+    config = ClusterContentionConfig(node_counts=(2, 4), probes_per_node=2,
+                                     cross_traffic_per_node=4,
+                                     closed_loop=True)
     first = run_fig_cluster_contention(config)
     second = run_fig_cluster_contention(config)
     assert first.series == second.series
