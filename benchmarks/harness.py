@@ -3,18 +3,21 @@
 
 Drives the full event-driven fabric (PHY + datalink + switch stacks
 built by :meth:`VeniceSystem.build_event_fabric`) with deterministic
-traffic over four workloads -- a directly connected pair, an 8-node
-star, a 16-node fat-tree (all open-loop, pre-scheduled injections) and
-a closed-loop request/response workload (QPair-style: each delivered
+traffic over five workloads -- a directly connected pair, an 8-node
+star, a 16-node fat-tree (all open-loop, pre-scheduled injections), a
+closed-loop request/response workload (QPair-style: each delivered
 request turns into a response, each response completes a round-trip
 and launches the next request, with datalink credit feedback end to
-end) -- and reports engine throughput as *events per second of wall
-clock* plus total wall time per workload.
+end), and a transport-channel workload (``channel_ops``: CRMA reads,
+QPair round trips and messages, RDMA page streams executed as packets
+through the event transport backend) -- and reports engine throughput
+as *events per second of wall clock* plus total wall time per
+workload.
 
-The workloads are budget-based (a fixed number of packets injected or
-round-trips completed; the run ends when the event queue drains), so
-the simulated work is byte-identical across engine versions; only the
-wall clock changes.
+The workloads are budget-based (a fixed number of packets injected,
+round-trips completed, or channel ops issued; the run ends when the
+event queue drains), so the simulated work is byte-identical across
+engine versions; only the wall clock changes.
 
 Usage::
 
@@ -58,6 +61,8 @@ WORKLOADS: Dict[str, dict] = {
                      packets_per_node=160, rounds=4),
     "closed_loop": dict(num_nodes=8, topology="star", mode="closed",
                         requests_per_node=250, window=4),
+    "channel_ops": dict(num_nodes=2, topology="direct_pair", mode="channel",
+                        ops=3000),
 }
 
 #: Gap between injection rounds, ns (lets queues partially drain so the
@@ -211,11 +216,78 @@ class ClosedLoopDriver:
         return self.rtt_total_ns / self.completed if self.completed else 0.0
 
 
+class ChannelOpsDriver:
+    """Transport-channel operations over the event backend.
+
+    Exercises the full channel stack -- CRMA read round trips, QPair
+    request/response and one-way messages, RDMA page streams -- as
+    packets on a pair system's shared event fabric, the path the
+    ``fig15_contended`` / ``fig16_contended`` experiments execute per
+    workload access.  The op mix is deterministic and budget-based, so
+    the event count is identical across engine versions.
+    """
+
+    #: (label, packets injected per op) in issue rotation order.
+    OP_MIX = (("crma_read", 2), ("qpair_round_trip", 2),
+              ("rdma_page", 1), ("qpair_message", 1))
+
+    def __init__(self, system, ops: int):
+        self.system = system
+        self.ops = ops
+        self.crma = system.crma_channel(0, 1)
+        self.rdma = system.rdma_channel(0, 1)
+        self.qpair = system.qpair_channel(0, 1)
+        self.sim = system.event_transport().sim
+        self._issue = (
+            lambda: self.crma.read_latency_ns(64),
+            lambda: self.qpair.round_trip_latency_ns(16, 64),
+            lambda: self.rdma.transfer_latency_ns(4096),
+            lambda: self.qpair.message_latency_ns(64),
+        )
+        self.packets = sum(self.OP_MIX[index % len(self.OP_MIX)][1]
+                           for index in range(ops))
+        self.completed = 0
+        self.latency_total_ns = 0
+
+    def run(self) -> None:
+        issue = self._issue
+        count = len(issue)
+        for index in range(self.ops):
+            self.latency_total_ns += issue[index % count]()
+            self.completed += 1
+
+    @property
+    def mean_rtt_ns(self) -> float:
+        return self.latency_total_ns / self.completed if self.completed else 0.0
+
+
 def run_workload(workload: str, packets_per_node: Optional[int] = None,
                  seed: int = 2016, scheduler: str = "auto") -> WorkloadResult:
     """Build, inject and run one workload under the wall-clock timer."""
     spec = WORKLOADS[workload]
     driver = None
+    if spec["mode"] == "channel":
+        system = VeniceSystem.build(
+            VeniceConfig(num_nodes=spec["num_nodes"],
+                         topology=spec["topology"]),
+            transport_backend="event", scheduler=scheduler)
+        channel_driver = ChannelOpsDriver(system,
+                                          ops=packets_per_node or spec["ops"])
+        start = time.perf_counter()
+        channel_driver.run()
+        wall = time.perf_counter() - start
+        sim = channel_driver.sim
+        return WorkloadResult(
+            workload=workload,
+            packets=channel_driver.packets,
+            delivered=channel_driver.completed,
+            events=sim.events_processed,
+            sim_ns=sim.now,
+            wall_s=wall,
+            events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
+            scheduler=sim.scheduler,
+            mean_rtt_ns=channel_driver.mean_rtt_ns,
+        )
     if spec["mode"] == "closed":
         system = VeniceSystem.build(VeniceConfig(num_nodes=spec["num_nodes"],
                                                  topology=spec["topology"]))

@@ -63,6 +63,12 @@ class ClusterConfig:
     policy: str = "distance-first"
     #: External-router model paid once per router crossed on a route.
     router: RouterConfig = field(default_factory=RouterConfig)
+    #: How the cluster's channels cost operations: "closed_form" keeps
+    #: the cached closed-form sweeps; "event" runs every operation as
+    #: packets over the system's shared event fabric.
+    transport_backend: str = "closed_form"
+    #: Timer backend for the shared simulator (event backend only).
+    scheduler: str = "auto"
 
     def venice(self) -> VeniceConfig:
         """The equivalent whole-system configuration."""
@@ -82,7 +88,10 @@ class Cluster:
                  latency_cache: Optional[ClusterLatencyCache] = None):
         self.config = config or ClusterConfig()
         self.venice = self.config.venice()
-        self.system = VeniceSystem.build(self.venice)
+        self.system = VeniceSystem.build(
+            self.venice,
+            transport_backend=self.config.transport_backend,
+            scheduler=self.config.scheduler)
         self.system.monitor.policy = make_policy(self.config.policy)
         #: Shared by every path of this cluster; pass one cache to
         #: several clusters to share latencies across a sweep.  (An

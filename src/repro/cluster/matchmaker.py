@@ -18,7 +18,7 @@ from typing import List, Optional
 from repro.core.sharing.remote_accelerator import RemoteAcceleratorTarget
 from repro.core.sharing.remote_memory import RemoteMemoryGrant
 from repro.core.sharing.remote_nic import VirtualNic
-from repro.runtime.monitor import Allocation
+from repro.runtime.monitor import Allocation, AllocationError
 from repro.runtime.tables import ResourceKind
 
 
@@ -77,19 +77,51 @@ class Matchmaker:
         self.shares.append(share)
         return share
 
-    def borrow_memory(self, requester: int, size_bytes: int) -> ResourceShare:
+    def _borrow_memory_from(self, requester: int, size_bytes: int,
+                            donor: Optional[int] = None) -> ResourceShare:
+        """One Figure 2 flow: MN allocation (optionally pinned) + hot-plug."""
+        allocation, grant = self.cluster.system.request_remote_memory(
+            requester, size_bytes, donor=donor,
+            channel_factory=lambda chosen: self.cluster.crma_channel(requester,
+                                                                     chosen))
+        return self._record(ResourceKind.MEMORY, requester, allocation,
+                            size_bytes, grant.channel, grant=grant)
+
+    def borrow_memory(self, requester: int, size_bytes: int,
+                      spill: bool = True) -> List[ResourceShare]:
         """Borrow ``size_bytes`` of remote memory for ``requester``.
 
         Full Figure 2 flow against the policy-chosen donor, delegated to
         :meth:`VeniceSystem.request_remote_memory` with the CRMA channel
-        built over the cluster's cached path.
+        built over the cluster's cached path.  When no single donor can
+        cover the request and ``spill`` is true, the request is split
+        across donors in policy-preference order (draining each donor's
+        idle memory before moving on -- across leaves on a fat-tree), so
+        a fleet with enough aggregate memory never refuses; each chunk
+        becomes its own share with its own channel and grant.  Returns
+        the created shares in allocation order (one entry in the common
+        single-donor case).
         """
-        allocation, grant = self.cluster.system.request_remote_memory(
-            requester, size_bytes,
-            channel_factory=lambda donor: self.cluster.crma_channel(requester,
-                                                                    donor))
-        return self._record(ResourceKind.MEMORY, requester, allocation,
-                            size_bytes, grant.channel, grant=grant)
+        try:
+            return [self._borrow_memory_from(requester, size_bytes)]
+        except AllocationError:
+            if not spill:
+                raise
+        # Plan against advertised idle memory, then run one pinned
+        # Figure 2 flow per planned chunk.  A stale record makes the
+        # pinned request raise; unwind the partial borrow and surface
+        # the failure rather than leave a half-satisfied request.
+        plan = self.cluster.monitor.memory_spill_plan(requester, size_bytes)
+        shares: List[ResourceShare] = []
+        try:
+            for donor, take in plan:
+                shares.append(self._borrow_memory_from(requester, take,
+                                                       donor=donor))
+        except AllocationError:
+            for share in reversed(shares):
+                self.release(share)
+            raise
+        return shares
 
     def borrow_accelerator(self, requester: int,
                            exclusive_mapping: bool = True) -> ResourceShare:
@@ -132,7 +164,7 @@ class Matchmaker:
         created: List[ResourceShare] = []
         for requester in self.cluster.node_ids:
             if memory_bytes_per_node > 0:
-                created.append(self.borrow_memory(requester,
+                created.extend(self.borrow_memory(requester,
                                                   memory_bytes_per_node))
             for _ in range(accelerators_per_node):
                 created.append(self.borrow_accelerator(requester))

@@ -11,8 +11,21 @@ inter-channel collaboration (Section 5.1.3).
   send/receive queue pairs.
 * :mod:`~repro.core.channels.collaboration` -- adaptive channel
   selection and CRMA-assisted credit return for QPair flow control.
+* :mod:`~repro.core.channels.backend` -- how channel operations are
+  costed: :class:`~repro.core.channels.backend.ClosedFormBackend`
+  (formulas over the fabric path, the default) or
+  :class:`~repro.core.channels.backend.EventBackend` (measured packets
+  over the shared event-driven fabric).
 """
 
+from repro.core.channels.backend import (
+    ClosedFormBackend,
+    CrossTrafficDriver,
+    EventBackend,
+    EventTransport,
+    TransportBackend,
+    TransportError,
+)
 from repro.core.channels.path import FabricPath
 from repro.core.channels.crma import CrmaChannel, CrmaRemoteBackend
 from repro.core.channels.rdma import RdmaChannel, RdmaSwapDevice
@@ -24,6 +37,12 @@ from repro.core.channels.collaboration import (
 )
 
 __all__ = [
+    "TransportBackend",
+    "TransportError",
+    "ClosedFormBackend",
+    "EventBackend",
+    "EventTransport",
+    "CrossTrafficDriver",
     "FabricPath",
     "CrmaChannel",
     "CrmaRemoteBackend",

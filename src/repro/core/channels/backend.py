@@ -1,0 +1,493 @@
+"""Transport backends: how a channel operation turns into latency.
+
+Every transport channel (CRMA, RDMA, QPair) describes its operations in
+terms of five primitive *transport ops* -- one-way delivery, a
+request/response round trip, a posted (fire-and-forget) send, link
+occupancy, and a chunked stream.  A :class:`TransportBackend` decides
+how those ops are costed:
+
+* :class:`ClosedFormBackend` answers from the channel's
+  :class:`~repro.core.channels.path.FabricPath` closed forms -- exactly
+  the latencies the seed experiments and the cluster sweeps (through
+  :class:`~repro.core.channels.path.CachedFabricPath` and the shared
+  :class:`~repro.cluster.latency_cache.ClusterLatencyCache`) have always
+  used.  It models an *uncontended* fabric by construction.
+* :class:`EventBackend` executes each op as real credit-flow-controlled
+  packets over the event-driven fabric (PHY + datalink + switch stacks)
+  and returns *measured* simulated time.  Several channels of one
+  system share a single :class:`EventTransport` -- one
+  :class:`~repro.sim.engine.Simulator` and one fabric -- so their
+  packets contend with each other and with any
+  :class:`CrossTrafficDriver` background flows on the same links.
+
+The split mirrors the modelled-cost versus executed-task distinction of
+HPX-style runtimes: the same channel API answers either from a formula
+or from execution, and contention-sensitive experiments pick per run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fabric.packet import Packet, PacketKind
+
+#: Simulated time driven per scheduling slice while background traffic
+#: keeps the event queue non-empty (see :meth:`EventTransport.drive`).
+#: Sized to a few uncontended round trips: a slice much larger than one
+#: op would burn wall clock simulating background flows long past the
+#: op's completion; much smaller wastes slice-polling overhead.
+_TIME_SLICE_NS = 5_000
+
+
+class TransportError(RuntimeError):
+    """Raised when an event-backend operation cannot complete."""
+
+
+class TransportBackend:
+    """Costing strategy for the primitive transport operations.
+
+    ``kind`` is ``"closed_form"`` or ``"event"``; channels and
+    experiments branch on behaviour only through these five ops, never
+    on the kind itself.
+    """
+
+    kind = "abstract"
+
+    def one_way_ns(self, payload_bytes: int,
+                   packet_kind: PacketKind = PacketKind.QPAIR_DATA) -> int:
+        """Latency of delivering one packet of ``payload_bytes``."""
+        raise NotImplementedError
+
+    def round_trip_ns(self, request_bytes: int, response_bytes: int,
+                      server_ns: int = 0,
+                      request_kind: PacketKind = PacketKind.CRMA_READ,
+                      response_kind: PacketKind = PacketKind.CRMA_READ_RESP) -> int:
+        """Request/response latency with ``server_ns`` of donor-side service."""
+        raise NotImplementedError
+
+    def posted_send_ns(self, payload_bytes: int,
+                       packet_kind: PacketKind = PacketKind.CRMA_WRITE) -> int:
+        """Local acceptance cost of a posted (fire-and-forget) packet."""
+        raise NotImplementedError
+
+    def occupancy_ns(self, payload_bytes: int,
+                     packet_kind: PacketKind = PacketKind.QPAIR_DATA) -> int:
+        """Minimum spacing between back-to-back packets on the route."""
+        raise NotImplementedError
+
+    def stream_ns(self, chunk_bytes: int, chunks: int, last_chunk_bytes: int,
+                  per_chunk_server_ns: int, lanes: int = 1,
+                  double_buffering: bool = True,
+                  packet_kind: PacketKind = PacketKind.RDMA_CHUNK) -> int:
+        """Latency of a chunked bulk transfer (RDMA-style pipeline)."""
+        raise NotImplementedError
+
+
+class ClosedFormBackend(TransportBackend):
+    """Answer every transport op from the fabric path's closed forms.
+
+    This backend reproduces the pre-refactor channel arithmetic exactly,
+    including memoization: when the path is a
+    :class:`~repro.core.channels.path.CachedFabricPath` its latency
+    queries keep flowing through the shared cluster cache.
+    """
+
+    kind = "closed_form"
+
+    def __init__(self, path):
+        self.path = path
+
+    def one_way_ns(self, payload_bytes, packet_kind=PacketKind.QPAIR_DATA):
+        return self.path.one_way_latency_ns(payload_bytes)
+
+    def round_trip_ns(self, request_bytes, response_bytes, server_ns=0,
+                      request_kind=PacketKind.CRMA_READ,
+                      response_kind=PacketKind.CRMA_READ_RESP):
+        return (self.path.one_way_latency_ns(request_bytes)
+                + server_ns
+                + self.path.one_way_latency_ns(response_bytes))
+
+    def posted_send_ns(self, payload_bytes, packet_kind=PacketKind.CRMA_WRITE):
+        # A posted operation retires once packetised and clocked onto the
+        # link; off-chip interface logic is still crossed at both ends.
+        return (self.path.serialization_ns(payload_bytes)
+                + 2 * self.path.endpoint_overhead_ns)
+
+    def occupancy_ns(self, payload_bytes, packet_kind=PacketKind.QPAIR_DATA):
+        return self.path.packet_occupancy_ns(payload_bytes)
+
+    def stream_ns(self, chunk_bytes, chunks, last_chunk_bytes,
+                  per_chunk_server_ns, lanes=1, double_buffering=True,
+                  packet_kind=PacketKind.RDMA_CHUNK):
+        lanes = max(1, lanes)
+        link_ns = self.path.packet_occupancy_ns(chunk_bytes) // lanes
+        first_chunk_ns = (self.path.one_way_latency_ns(chunk_bytes)
+                          + per_chunk_server_ns)
+        if double_buffering:
+            steady_state_ns = max(link_ns, per_chunk_server_ns)
+        else:
+            steady_state_ns = link_ns + per_chunk_server_ns
+        remaining = max(0, chunks - 1)
+        total = first_chunk_ns + remaining * steady_state_ns
+        # The final (possibly short) chunk only occupies the link for its
+        # own size; without double buffering the last steady-state step
+        # shrinks accordingly.
+        if remaining and last_chunk_bytes < chunk_bytes and not double_buffering:
+            total -= (self.path.packet_occupancy_ns(chunk_bytes)
+                      - self.path.packet_occupancy_ns(last_chunk_bytes))
+        return total
+
+
+class _PendingOp:
+    """Completion flag + measured result of one in-flight transport op."""
+
+    __slots__ = ("done", "result_ns")
+
+    def __init__(self):
+        self.done = False
+        self.result_ns = 0
+
+    def complete(self, result_ns: int) -> None:
+        self.done = True
+        self.result_ns = result_ns
+
+
+class EventTransport:
+    """Shared event-fabric executor: one per system.
+
+    Owns the local-ejection sink of every switch and dispatches
+    deliveries to per-packet handlers, so any number of channels (and
+    background traffic drivers) multiplex over one simulator without
+    stealing each other's packets.  Operations run *synchronously*: the
+    caller's op drives the simulator forward until its completion
+    handler fires, interleaving with whatever other traffic is in
+    flight.
+    """
+
+    def __init__(self, fabric, time_slice_ns: int = _TIME_SLICE_NS):
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.time_slice_ns = time_slice_ns
+        #: Deliveries routed per packet id; unmatched packets fall through
+        #: to ``unmatched`` (counted, not fatal -- e.g. stray replays).
+        self._handlers: Dict[int, Callable[[Packet], None]] = {}
+        #: Live background sources (cross-traffic drivers).  While any
+        #: are active the event queue never drains, so ops are driven in
+        #: bounded time slices instead of to idleness.
+        self._background = 0
+        self.unmatched = 0
+        self.ops_completed = 0
+        for switch in fabric.switches.values():
+            switch.attach_local_sink(self._deliver)
+
+    # ------------------------------------------------------------------
+    # Packet plumbing
+    # ------------------------------------------------------------------
+    def _deliver(self, packet: Packet) -> None:
+        handler = self._handlers.pop(packet.packet_id, None)
+        if handler is not None:
+            handler(packet)
+        else:
+            self.unmatched += 1
+
+    def expect(self, packet: Packet, handler: Callable[[Packet], None]) -> None:
+        """Register the delivery handler for ``packet``."""
+        self._handlers[packet.packet_id] = handler
+
+    def inject(self, packet: Packet) -> None:
+        """Hand a packet to its source node's switch."""
+        self.fabric.switches[packet.src].inject(packet)
+
+    def add_background_source(self) -> None:
+        self._background += 1
+
+    def remove_background_source(self) -> None:
+        if self._background <= 0:
+            raise TransportError("no background source registered")
+        self._background -= 1
+
+    @property
+    def contended(self) -> bool:
+        """True while background traffic keeps the fabric loaded."""
+        return self._background > 0
+
+    # ------------------------------------------------------------------
+    # Synchronous op driving
+    # ------------------------------------------------------------------
+    def drive(self, op: _PendingOp) -> int:
+        """Advance the shared simulator until ``op`` completes.
+
+        Without background traffic the queue drains once the op (and any
+        piggybacking posted packets) finish, so one ``run_until_idle``
+        suffices.  With background traffic the queue normally never
+        empties; the op is driven in fixed simulated-time slices so
+        control returns between slices to detect completion.  Slices
+        that dispatch nothing are fine -- ``run(until=...)`` still
+        advances the clock towards far-future timers (long server
+        turnarounds, slow noise relaunches) -- so the only true stall is
+        an *empty* queue with the op incomplete: its packet was lost.
+        """
+        sim = self.sim
+        while not op.done:
+            if self._background == 0:
+                sim.run_until_idle()
+                if not op.done:
+                    raise TransportError(
+                        "event fabric drained without completing the "
+                        "transport op (packet lost or sink detached)")
+            else:
+                sim.run(until=sim.now + self.time_slice_ns)
+                if not op.done and len(sim) == 0:
+                    raise TransportError(
+                        "event fabric drained without completing the "
+                        "transport op (packet lost or sink detached) "
+                        "while background traffic was registered")
+        self.ops_completed += 1
+        return op.result_ns
+
+    # ------------------------------------------------------------------
+    # Measured primitive ops
+    # ------------------------------------------------------------------
+    def measure_one_way(self, src: int, dst: int, payload_bytes: int,
+                        packet_kind: PacketKind) -> int:
+        op = _PendingOp()
+        start = self.sim.now
+        packet = Packet(src=src, dst=dst, kind=packet_kind,
+                        payload_bytes=payload_bytes, created_at=start)
+        self.expect(packet,
+                    lambda _p: op.complete(self.sim.now - start))
+        self.inject(packet)
+        return self.drive(op)
+
+    def measure_round_trip(self, src: int, dst: int, request_bytes: int,
+                           response_bytes: int, server_ns: int,
+                           request_kind: PacketKind,
+                           response_kind: PacketKind) -> int:
+        op = _PendingOp()
+        start = self.sim.now
+        request = Packet(src=src, dst=dst, kind=request_kind,
+                         payload_bytes=request_bytes, created_at=start)
+
+        def on_response(_packet: Packet) -> None:
+            op.complete(self.sim.now - start)
+
+        def send_response(_value=None) -> None:
+            response = Packet(src=dst, dst=src, kind=response_kind,
+                              payload_bytes=response_bytes,
+                              payload=request.packet_id)
+            self.expect(response, on_response)
+            self.inject(response)
+
+        def on_request(_packet: Packet) -> None:
+            # Donor-side service (e.g. the DRAM access) delays the reply.
+            if server_ns > 0:
+                self.sim.call_after(server_ns, send_response)
+            else:
+                send_response()
+
+        self.expect(request, on_request)
+        self.inject(request)
+        return self.drive(op)
+
+    def measure_occupancy(self, src: int, dst: int, payload_bytes: int,
+                          packet_kind: PacketKind) -> int:
+        """Delivery spacing of two back-to-back packets (pipelined cost)."""
+        op = _PendingOp()
+        arrivals: List[int] = []
+
+        def on_delivery(_packet: Packet) -> None:
+            arrivals.append(self.sim.now)
+            if len(arrivals) == 2:
+                op.complete(arrivals[1] - arrivals[0])
+
+        for _ in range(2):
+            packet = Packet(src=src, dst=dst, kind=packet_kind,
+                            payload_bytes=payload_bytes)
+            self.expect(packet, on_delivery)
+            self.inject(packet)
+        return self.drive(op)
+
+    def measure_stream(self, src: int, dst: int, chunk_sizes: Sequence[int],
+                       per_chunk_server_ns: int,
+                       packet_kind: PacketKind) -> int:
+        """Makespan of a chunked transfer: inject-all, credit-paced.
+
+        All chunks are offered to the fabric at once; the datalink
+        credit machinery paces them onto the wire.  Each delivered chunk
+        starts its donor-side service (DMA into the donor's DRAM); the
+        op completes when the last service finishes, so services overlap
+        the link exactly as double-buffered descriptors do.
+        """
+        op = _PendingOp()
+        start = self.sim.now
+        remaining = len(chunk_sizes)
+        if remaining == 0:
+            return 0
+
+        def service_done(_value=None) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                op.complete(self.sim.now - start)
+
+        def on_chunk(_packet: Packet) -> None:
+            if per_chunk_server_ns > 0:
+                self.sim.call_after(per_chunk_server_ns, service_done)
+            else:
+                service_done()
+
+        for size in chunk_sizes:
+            chunk = Packet(src=src, dst=dst, kind=packet_kind,
+                           payload_bytes=size, created_at=start)
+            self.expect(chunk, on_chunk)
+            self.inject(chunk)
+        return self.drive(op)
+
+    def post(self, src: int, dst: int, payload_bytes: int,
+             packet_kind: PacketKind) -> None:
+        """Inject a fire-and-forget packet (load-bearing, not awaited)."""
+        packet = Packet(src=src, dst=dst, kind=packet_kind,
+                        payload_bytes=payload_bytes, created_at=self.sim.now)
+        # No handler: delivery falls through to the unmatched counter.
+        self.inject(packet)
+
+
+class EventBackend(TransportBackend):
+    """Execute transport ops as packets between two fabric endpoints.
+
+    One instance per channel (it knows the channel's src/dst node pair
+    and fabric path); the heavy state -- simulator, fabric, delivery
+    dispatch -- lives in the shared :class:`EventTransport`.
+
+    Modelling notes: the event fabric is single-lane per direction, so
+    ``stream_ns`` ignores lane striping and always overlaps donor-side
+    services with the link (the double-buffered pipeline); and a posted
+    send is charged its closed-form local acceptance cost while the
+    packet itself still crosses -- and loads -- the fabric.
+    """
+
+    kind = "event"
+
+    def __init__(self, transport: EventTransport, src: int, dst: int, path):
+        self.transport = transport
+        self.src = src
+        self.dst = dst
+        self.path = path
+        #: Local (non-transport) costs share the closed-form source of
+        #: truth, so the two backends can never drift apart on them.
+        self._closed_form = ClosedFormBackend(path)
+
+    def one_way_ns(self, payload_bytes, packet_kind=PacketKind.QPAIR_DATA):
+        return self.transport.measure_one_way(self.src, self.dst,
+                                              payload_bytes, packet_kind)
+
+    def round_trip_ns(self, request_bytes, response_bytes, server_ns=0,
+                      request_kind=PacketKind.CRMA_READ,
+                      response_kind=PacketKind.CRMA_READ_RESP):
+        return self.transport.measure_round_trip(
+            self.src, self.dst, request_bytes, response_bytes, server_ns,
+            request_kind, response_kind)
+
+    def posted_send_ns(self, payload_bytes, packet_kind=PacketKind.CRMA_WRITE):
+        self.transport.post(self.src, self.dst, payload_bytes, packet_kind)
+        return self._closed_form.posted_send_ns(payload_bytes, packet_kind)
+
+    def occupancy_ns(self, payload_bytes, packet_kind=PacketKind.QPAIR_DATA):
+        return self.transport.measure_occupancy(self.src, self.dst,
+                                                payload_bytes, packet_kind)
+
+    def stream_ns(self, chunk_bytes, chunks, last_chunk_bytes,
+                  per_chunk_server_ns, lanes=1, double_buffering=True,
+                  packet_kind=PacketKind.RDMA_CHUNK):
+        # The event fabric is single-lane and always overlaps donor-side
+        # services with the link.  Silently measuring a differently
+        # configured stream would report model mismatch as if it were
+        # queueing delay, so unsupported knobs are rejected loudly (the
+        # same pattern as the platform's off-chip/router guards).
+        if lanes > 1:
+            raise ValueError(
+                "the event fabric is single-lane per direction; "
+                "lane-striped streams are a closed-form knob")
+        if not double_buffering:
+            raise ValueError(
+                "the event fabric always pipelines chunk services "
+                "(double buffering); serialised streams are a "
+                "closed-form knob")
+        sizes = [chunk_bytes] * max(0, chunks - 1) + [last_chunk_bytes]
+        return self.transport.measure_stream(self.src, self.dst, sizes,
+                                             per_chunk_server_ns, packet_kind)
+
+
+class CrossTrafficDriver:
+    """Closed-loop background flows keeping a shared fabric loaded.
+
+    Each ``(src, dst)`` flow keeps ``window`` packets circulating: a
+    delivered packet re-injects its successor after ``turnaround_ns``.
+    Because the flows only advance while transport ops drive the shared
+    simulator, the background load is deterministic and exactly
+    contemporaneous with the measured operations -- the event-backend
+    equivalent of the open-loop noise waves the contention sweeps use.
+    """
+
+    def __init__(self, transport: EventTransport,
+                 flows: Sequence[Tuple[int, int]], payload_bytes: int = 256,
+                 window: int = 4, turnaround_ns: int = 200,
+                 packet_kind: PacketKind = PacketKind.RDMA_CHUNK):
+        if window < 1:
+            raise ValueError("each cross-traffic flow needs a window >= 1")
+        if turnaround_ns < 0:
+            raise ValueError("turnaround must be non-negative")
+        self.transport = transport
+        self.flows = list(flows)
+        self.payload_bytes = payload_bytes
+        self.window = window
+        self.turnaround_ns = turnaround_ns
+        self.packet_kind = packet_kind
+        self.packets_sent = 0
+        self.active = False
+        #: Circulating packets per flow; start() only tops flows up to
+        #: ``window``, so stop()/start() cycles cannot inflate the load
+        #: beyond the configured depth.
+        self._in_flight: Dict[Tuple[int, int], int] = {
+            flow: 0 for flow in self.flows}
+        if self.flows:
+            self.start()
+
+    def start(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self.transport.add_background_source()
+        for src, dst in self.flows:
+            for _ in range(self.window - self._in_flight[(src, dst)]):
+                self._launch(src, dst)
+
+    def stop(self) -> None:
+        """Stop re-injecting; in-flight packets drain on the next ops."""
+        if not self.active:
+            return
+        self.active = False
+        self.transport.remove_background_source()
+
+    def _launch(self, src: int, dst: int) -> None:
+        packet = Packet(src=src, dst=dst, kind=self.packet_kind,
+                        payload_bytes=self.payload_bytes,
+                        created_at=self.transport.sim.now)
+        self.packets_sent += 1
+        self._in_flight[(src, dst)] += 1
+        self.transport.expect(packet, self._relaunch)
+        self.transport.inject(packet)
+
+    def _relaunch(self, packet: Packet) -> None:
+        self._in_flight[(packet.src, packet.dst)] -= 1
+        if not self.active:
+            return
+        sim = self.transport.sim
+        if self.turnaround_ns > 0:
+            sim.call_after(self.turnaround_ns, self._relaunch_now, packet)
+        else:
+            self._relaunch_now(packet)
+
+    def _relaunch_now(self, packet: Packet) -> None:
+        if self.active:
+            self._launch(packet.src, packet.dst)

@@ -15,6 +15,12 @@ Two mechanisms are modelled:
   bandwidth.  Because packets of one logical flow may then arrive over
   two channels, sequence numbers are required for ordering -- the
   "lesson learned the hard way" the paper mentions.
+
+Both mechanisms cost transport through the channels' configured
+:class:`~repro.core.channels.backend.TransportBackend`: handed
+event-backed channels, the credit model's message latencies, small
+CRMA writes and per-message occupancies are measured on the shared
+event fabric (including any contention) instead of computed.
 """
 
 from __future__ import annotations

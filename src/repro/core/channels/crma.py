@@ -22,9 +22,11 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.address import AddressMappingError, RemoteAddressMappingTable, TransportTlb
+from repro.core.channels.backend import ClosedFormBackend, TransportBackend
 from repro.core.channels.path import FabricPath
 from repro.core.config import CrmaConfig
 from repro.cpu.hierarchy import RemoteMemoryBackend
+from repro.fabric.packet import PacketKind
 from repro.mem.dram import Dram, DramConfig
 from repro.sim.stats import StatsRegistry
 
@@ -39,9 +41,11 @@ class CrmaChannel:
     def __init__(self, config: Optional[CrmaConfig] = None,
                  path: Optional[FabricPath] = None,
                  donor_dram: Optional[Dram] = None,
-                 name: str = "crma"):
+                 name: str = "crma",
+                 backend: Optional[TransportBackend] = None):
         self.config = config or CrmaConfig()
         self.path = path or FabricPath()
+        self.backend = backend or ClosedFormBackend(self.path)
         self.donor_dram = donor_dram or Dram(DramConfig())
         self.name = name
         self.stats = StatsRegistry(name)
@@ -87,12 +91,14 @@ class CrmaChannel:
             raise ValueError("read size must be positive")
         self.stats.counter("reads").increment()
         self.stats.counter("read_bytes").increment(size_bytes)
-        request = (self.config.request_processing_ns
-                   + self.path.one_way_latency_ns(_REQUEST_PAYLOAD_BYTES))
-        service = self.donor_dram.access_latency_ns(size_bytes)
-        response = (self.path.one_way_latency_ns(size_bytes)
-                    + self.config.response_processing_ns)
-        return request + service + response
+        transport = self.backend.round_trip_ns(
+            _REQUEST_PAYLOAD_BYTES, size_bytes,
+            server_ns=self.donor_dram.access_latency_ns(size_bytes),
+            request_kind=PacketKind.CRMA_READ,
+            response_kind=PacketKind.CRMA_READ_RESP)
+        return (self.config.request_processing_ns
+                + transport
+                + self.config.response_processing_ns)
 
     def write_latency_ns(self, size_bytes: int) -> int:
         """Latency of one remote write (posted: retires once packetised)."""
@@ -103,8 +109,8 @@ class CrmaChannel:
         # The store retires when the packet has been accepted by the
         # channel: RAMT lookup + packetisation + link serialization.
         return (self.config.request_processing_ns
-                + self.path.serialization_ns(size_bytes)
-                + 2 * self.path.endpoint_overhead_ns)
+                + self.backend.posted_send_ns(size_bytes,
+                                              packet_kind=PacketKind.CRMA_WRITE))
 
     def small_write_latency_ns(self, size_bytes: int) -> int:
         """End-to-end delivery latency of a small CRMA write.
@@ -116,7 +122,8 @@ class CrmaChannel:
         if size_bytes <= 0:
             raise ValueError("write size must be positive")
         return (self.config.request_processing_ns
-                + self.path.one_way_latency_ns(size_bytes)
+                + self.backend.one_way_ns(size_bytes,
+                                          packet_kind=PacketKind.CRMA_WRITE)
                 + self.donor_dram.config.access_latency_ns)
 
 

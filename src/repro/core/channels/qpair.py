@@ -20,9 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.channels.backend import ClosedFormBackend, TransportBackend
 from repro.core.channels.path import FabricPath
 from repro.core.config import QPairConfig
 from repro.cpu.hierarchy import RemoteMemoryBackend
+from repro.fabric.packet import PacketKind
 from repro.mem.dram import Dram, DramConfig
 from repro.sim.stats import StatsRegistry
 
@@ -32,9 +34,11 @@ class QPairChannel:
 
     def __init__(self, config: Optional[QPairConfig] = None,
                  path: Optional[FabricPath] = None,
-                 name: str = "qpair"):
+                 name: str = "qpair",
+                 backend: Optional[TransportBackend] = None):
         self.config = config or QPairConfig()
         self.path = path or FabricPath()
+        self.backend = backend or ClosedFormBackend(self.path)
         self.name = name
         self.stats = StatsRegistry(name)
 
@@ -56,22 +60,44 @@ class QPairChannel:
         self.stats.counter("messages").increment()
         self.stats.counter("bytes").increment(payload_bytes)
         return (self.send_overhead_ns()
-                + self.path.one_way_latency_ns(payload_bytes)
+                + self.backend.one_way_ns(payload_bytes,
+                                          packet_kind=PacketKind.QPAIR_DATA)
                 + self.receive_overhead_ns())
 
     def round_trip_latency_ns(self, request_bytes: int, response_bytes: int,
                               remote_handler_ns: int = 0) -> int:
-        """Request/response latency including an optional remote handler."""
-        return (self.message_latency_ns(request_bytes)
-                + remote_handler_ns
-                + self.message_latency_ns(response_bytes))
+        """Request/response latency including an optional remote handler.
+
+        Executed as one transport round trip (request and response both
+        cross the fabric; the donor-side turnaround -- receive
+        completion, handler, reply post -- is the server time), so the
+        event backend measures a genuine request/response exchange
+        rather than two unrelated one-way deliveries.
+        """
+        if request_bytes <= 0 or response_bytes <= 0:
+            raise ValueError("message size must be positive")
+        self.stats.counter("messages").increment(2)
+        self.stats.counter("bytes").increment(request_bytes + response_bytes)
+        server_ns = (self.receive_overhead_ns() + remote_handler_ns
+                     + self.send_overhead_ns())
+        transport = self.backend.round_trip_ns(
+            request_bytes, response_bytes, server_ns=server_ns,
+            request_kind=PacketKind.QPAIR_DATA,
+            response_kind=PacketKind.QPAIR_ACK)
+        return (self.send_overhead_ns() + transport
+                + self.receive_overhead_ns())
 
     # ------------------------------------------------------------------
     # Streaming throughput
     # ------------------------------------------------------------------
+    def occupancy_ns(self, payload_bytes: int) -> int:
+        """Transport occupancy of one message (backend-measured spacing)."""
+        return self.backend.occupancy_ns(payload_bytes,
+                                         packet_kind=PacketKind.QPAIR_DATA)
+
     def per_message_occupancy_ns(self, payload_bytes: int) -> float:
         """Minimum spacing between back-to-back messages on this channel."""
-        return max(self.path.packet_occupancy_ns(payload_bytes),
+        return max(self.occupancy_ns(payload_bytes),
                    self.config.queue_processing_ns,
                    self.config.post_send_ns)
 
@@ -99,7 +125,8 @@ class QPairChannel:
         if window <= 0:
             raise ValueError("credit window must be positive")
         round_trip_ns = (self.per_message_occupancy_ns(payload_bytes)
-                         + self.path.one_way_latency_ns(payload_bytes)
+                         + self.backend.one_way_ns(
+                             payload_bytes, packet_kind=PacketKind.QPAIR_DATA)
                          + credit_return_latency_ns)
         window_gbps = window * payload_bytes * 8 / round_trip_ns
         return min(self.streaming_bandwidth_gbps(payload_bytes), window_gbps)

@@ -13,8 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.channels.backend import ClosedFormBackend, TransportBackend
 from repro.core.channels.path import FabricPath
 from repro.core.config import RdmaConfig
+from repro.fabric.packet import PacketKind
 from repro.mem.dram import Dram, DramConfig
 from repro.mem.swap import SwapDevice
 from repro.sim.stats import StatsRegistry
@@ -26,9 +28,11 @@ class RdmaChannel:
     def __init__(self, config: Optional[RdmaConfig] = None,
                  path: Optional[FabricPath] = None,
                  donor_dram: Optional[Dram] = None,
-                 name: str = "rdma"):
+                 name: str = "rdma",
+                 backend: Optional[TransportBackend] = None):
         self.config = config or RdmaConfig()
         self.path = path or FabricPath()
+        self.backend = backend or ClosedFormBackend(self.path)
         self.donor_dram = donor_dram or Dram(DramConfig())
         self.name = name
         self.stats = StatsRegistry(name)
@@ -52,25 +56,17 @@ class RdmaChannel:
         chunk_bytes = min(size_bytes, self.config.max_chunk_bytes)
         last_chunk_bytes = size_bytes - (chunks - 1) * self.config.max_chunk_bytes
 
-        lanes = max(1, self.config.stripe_lanes)
-        link_ns = self.path.packet_occupancy_ns(chunk_bytes) // lanes
-        dram_ns = self.donor_dram.dma_latency_ns(chunk_bytes)
-        first_chunk_ns = self.path.one_way_latency_ns(chunk_bytes) + dram_ns
-        if self.config.double_buffering:
-            steady_state_ns = max(link_ns, dram_ns)
-        else:
-            steady_state_ns = link_ns + dram_ns
-        remaining = max(0, chunks - 1)
+        stream_ns = self.backend.stream_ns(
+            chunk_bytes=chunk_bytes,
+            chunks=chunks,
+            last_chunk_bytes=last_chunk_bytes,
+            per_chunk_server_ns=self.donor_dram.dma_latency_ns(chunk_bytes),
+            lanes=max(1, self.config.stripe_lanes),
+            double_buffering=self.config.double_buffering,
+            packet_kind=PacketKind.RDMA_CHUNK)
         total = (self.config.descriptor_setup_ns
-                 + first_chunk_ns
-                 + remaining * steady_state_ns
+                 + stream_ns
                  + self.config.completion_ns)
-        # The final (possibly short) chunk only occupies the link for its
-        # own size; adjust the last steady-state step accordingly.
-        if remaining and last_chunk_bytes < chunk_bytes:
-            total -= (self.path.packet_occupancy_ns(chunk_bytes)
-                      - self.path.packet_occupancy_ns(last_chunk_bytes)) \
-                if not self.config.double_buffering else 0
         self.stats.counter("transfers").increment()
         self.stats.counter("bytes").increment(size_bytes)
         return int(total)

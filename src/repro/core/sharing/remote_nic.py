@@ -56,9 +56,11 @@ class VirtualNic:
         Front-end driver, QPair channel occupancy (serialization or queue
         processing, whichever is larger -- the per-packet software post is
         folded into the front-end driver cost), back-end driver, and the
-        donor's software bridge.
+        donor's software bridge.  The occupancy comes from the channel's
+        transport backend, so an event-backed QPair reports the measured
+        (possibly contended) spacing instead of the closed form.
         """
-        qpair_ns = max(self.qpair.path.packet_occupancy_ns(payload_bytes),
+        qpair_ns = max(self.qpair.occupancy_ns(payload_bytes),
                        self.qpair.config.queue_processing_ns)
         return (self.driver.front_end_ns + qpair_ns + self.driver.back_end_ns
                 + self.bridge.forward_cost_ns(payload_bytes))

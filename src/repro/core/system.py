@@ -13,6 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.channels.backend import (
+    ClosedFormBackend,
+    EventBackend,
+    EventTransport,
+    TransportBackend,
+)
 from repro.core.channels.crma import CrmaChannel, CrmaRemoteBackend
 from repro.core.channels.path import FabricPath
 from repro.core.channels.qpair import QPairChannel
@@ -47,21 +53,41 @@ class EventFabric:
 
 
 class VeniceSystem:
-    """A rack of Venice nodes plus the Monitor-Node runtime."""
+    """A rack of Venice nodes plus the Monitor-Node runtime.
+
+    ``transport_backend`` selects how the system's channels cost their
+    operations: ``"closed_form"`` (default -- the uncontended formulas
+    every seed experiment and the cached cluster sweeps use) or
+    ``"event"`` (each operation runs as credit-flow-controlled packets
+    over one shared event-driven fabric; all channels of the system
+    contend on the same :class:`~repro.sim.engine.Simulator`).
+    """
 
     def __init__(self, config: VeniceConfig, topology: Topology,
-                 nodes: Dict[int, VeniceNode], monitor: MonitorNode):
+                 nodes: Dict[int, VeniceNode], monitor: MonitorNode,
+                 transport_backend: str = "closed_form",
+                 scheduler: str = "auto"):
+        if transport_backend not in ("closed_form", "event"):
+            raise ValueError(
+                f"unknown transport backend {transport_backend!r}; "
+                "choose 'closed_form' or 'event'")
         self.config = config
         self.topology = topology
         self.nodes = nodes
         self.monitor = monitor
+        self.transport_backend = transport_backend
+        self.scheduler = scheduler
         self.grants: List[RemoteMemoryGrant] = []
+        #: Lazily built shared event executor (event backend only).
+        self._event_transport: Optional[EventTransport] = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, config: Optional[VeniceConfig] = None) -> "VeniceSystem":
+    def build(cls, config: Optional[VeniceConfig] = None,
+              transport_backend: str = "closed_form",
+              scheduler: str = "auto") -> "VeniceSystem":
         """Build a system from a configuration (Table 1 defaults)."""
         config = config or VeniceConfig()
         topology = cls._build_topology(config)
@@ -73,7 +99,9 @@ class VeniceSystem:
         monitor = MonitorNode(topology)
         for node in nodes.values():
             monitor.register_agent(node.agent)
-        return cls(config=config, topology=topology, nodes=nodes, monitor=monitor)
+        return cls(config=config, topology=topology, nodes=nodes,
+                   monitor=monitor, transport_backend=transport_backend,
+                   scheduler=scheduler)
 
     @staticmethod
     def _build_topology(config: VeniceConfig) -> Topology:
@@ -128,6 +156,30 @@ class VeniceSystem:
         return path
 
     # ------------------------------------------------------------------
+    # Transport backend
+    # ------------------------------------------------------------------
+    def event_transport(self) -> EventTransport:
+        """The system's shared event-fabric executor (built on first use).
+
+        One simulator and one fabric serve every event-backed channel of
+        this system, so their packets -- and any registered cross-traffic
+        -- contend on the same links and switches.
+        """
+        if self._event_transport is None:
+            fabric = self.build_event_fabric(
+                sim=Simulator(scheduler=self.scheduler))
+            self._event_transport = EventTransport(fabric)
+        return self._event_transport
+
+    def channel_backend(self, src: int, dst: int,
+                        path: FabricPath) -> TransportBackend:
+        """Transport backend for a channel between two compute nodes."""
+        if self.transport_backend == "event":
+            return EventBackend(self.event_transport(), src=src, dst=dst,
+                                path=path)
+        return ClosedFormBackend(path)
+
+    # ------------------------------------------------------------------
     # Channels
     # ------------------------------------------------------------------
     def crma_channel(self, recipient: int, donor: int,
@@ -138,7 +190,8 @@ class VeniceSystem:
         path = path or self.path_between(recipient, donor, placement, through_router)
         return CrmaChannel(config=self.config.crma, path=path,
                            donor_dram=self.node(donor).dram,
-                           name=f"crma{recipient}->{donor}")
+                           name=f"crma{recipient}->{donor}",
+                           backend=self.channel_backend(recipient, donor, path))
 
     def rdma_channel(self, recipient: int, donor: int,
                      placement: Optional[ChannelPlacement] = None,
@@ -148,7 +201,8 @@ class VeniceSystem:
         path = path or self.path_between(recipient, donor, placement, through_router)
         return RdmaChannel(config=self.config.rdma, path=path,
                            donor_dram=self.node(donor).dram,
-                           name=f"rdma{recipient}->{donor}")
+                           name=f"rdma{recipient}->{donor}",
+                           backend=self.channel_backend(recipient, donor, path))
 
     def qpair_channel(self, local: int, remote: int,
                       placement: Optional[ChannelPlacement] = None,
@@ -157,21 +211,24 @@ class VeniceSystem:
         """QPair channel between two nodes."""
         path = path or self.path_between(local, remote, placement, through_router)
         return QPairChannel(config=self.config.qpair, path=path,
-                            name=f"qpair{local}<->{remote}")
+                            name=f"qpair{local}<->{remote}",
+                            backend=self.channel_backend(local, remote, path))
 
     # ------------------------------------------------------------------
     # Memory sharing front door
     # ------------------------------------------------------------------
     def request_remote_memory(self, requester: int, size_bytes: int,
-                              channel_factory=None
+                              channel_factory=None, donor: Optional[int] = None
                               ) -> Tuple[Allocation, RemoteMemoryGrant]:
         """Full Figure 2 flow: MN allocation + hot-remove/hot-plug + RAMT.
 
         ``channel_factory`` (donor id -> :class:`CrmaChannel`) lets
         callers such as the cluster matchmaker supply channels over their
         own paths; the donor is only known after the MN picks it.
+        ``donor`` pins the MN's choice (the matchmaker's spill path).
         """
-        allocation = self.monitor.request_memory(requester, size_bytes)
+        allocation = self.monitor.request_memory(requester, size_bytes,
+                                                 donor=donor)
         if channel_factory is not None:
             channel = channel_factory(allocation.donor)
         else:

@@ -15,8 +15,12 @@ from repro.experiments.fig03_commodity import run_fig03
 from repro.experiments.fig05_arch_support import run_fig05
 from repro.experiments.fig06_router import run_fig06
 from repro.experiments.fig14_redis_memory import run_fig14
-from repro.experiments.fig15_remote_memory import run_fig15
-from repro.experiments.fig16_accel_nic import run_fig16a, run_fig16b
+from repro.experiments.fig15_remote_memory import run_fig15, run_fig15_contended
+from repro.experiments.fig16_accel_nic import (
+    run_fig16a,
+    run_fig16b,
+    run_fig16_contended,
+)
 from repro.experiments.fig17_channels import run_fig17
 from repro.experiments.fig18_flow_control import run_fig18
 from repro.experiments.fig_cluster_contention import (
@@ -35,6 +39,12 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig15": ("CRMA versus RDMA-swap remote memory", run_fig15),
     "fig16a": ("remote accelerator sharing", run_fig16a),
     "fig16b": ("remote NIC sharing", run_fig16b),
+    "fig15_contended": ("fig15 workloads over the contended event fabric "
+                        "(event transport backend + cross-traffic)",
+                        run_fig15_contended),
+    "fig16_contended": ("fig16 sharing over the contended event fabric "
+                        "(event transport backend + cross-traffic)",
+                        run_fig16_contended),
     "fig17": ("channel comparison per access pattern", run_fig17),
     "fig18": ("credit flow control over CRMA", run_fig18),
     "cluster": ("N-node cluster scaling over the fat-tree fabric",

@@ -13,6 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.channels.backend import (
+    CrossTrafficDriver,
+    EventBackend,
+    EventTransport,
+    TransportBackend,
+)
 from repro.core.channels.crma import CrmaChannel, CrmaRemoteBackend
 from repro.core.channels.path import FabricPath
 from repro.core.channels.qpair import QPairChannel, QPairRemoteMemoryBackend
@@ -31,20 +37,117 @@ from repro.mem.swap import SwapConfig, SwapDevice, SwapManager
 _SLACK_BYTES = 1 << 20
 
 
+def compare_transport_backends(runner, config, cross_traffic: bool = True,
+                               cross_payload_bytes: int = 1024,
+                               cross_window: int = 2,
+                               cross_turnaround_ns: int = 0,
+                               scheduler: str = "auto"):
+    """Run one figure driver on both transport backends.
+
+    The shared harness behind the ``*_contended`` experiments: the same
+    ``runner(config, platform)`` executes once on a closed-form platform
+    and once on an event platform (optionally under cross-traffic), so
+    the two reports differ only in how channel operations were costed.
+    Returns ``(closed_report, event_report, event_platform, driver)``.
+    """
+    closed = runner(config, ExperimentPlatform())
+    event_platform = ExperimentPlatform(backend="event", scheduler=scheduler)
+    driver = None
+    if cross_traffic:
+        driver = event_platform.start_cross_traffic(
+            payload_bytes=cross_payload_bytes, window=cross_window,
+            turnaround_ns=cross_turnaround_ns)
+    event = runner(config, event_platform)
+    return closed, event, event_platform, driver
+
+
+def series_relative_deviations(closed_report, event_report,
+                               series_names=None):
+    """Per-label relative deviations of event results from closed forms."""
+    deviations = []
+    for name in (series_names if series_names is not None
+                 else closed_report.series):
+        for label, closed_value in closed_report.series[name].items():
+            if closed_value > 0:
+                deviations.append(
+                    abs(event_report.series[name][label] - closed_value)
+                    / closed_value)
+    return deviations
+
+
 @dataclass
 class ExperimentPlatform:
-    """Per-experiment platform knobs (scaled-down Table 1 node)."""
+    """Per-experiment platform knobs (scaled-down Table 1 node).
+
+    ``backend="event"`` makes every channel the platform hands out run
+    its operations as packets over one shared event-driven fabric (a
+    direct requester/donor pair, nodes 0 and 1), so operations see
+    queueing from each other and from any cross-traffic started with
+    :meth:`start_cross_traffic`.  The default ``"closed_form"`` keeps
+    the uncontended formulas of the seed experiments.
+    """
 
     venice: VeniceConfig = None
     cache: CacheConfig = None
     cpu: CpuConfig = None
     dram: DramConfig = None
+    #: "closed_form" | "event" transport for the platform's channels.
+    backend: str = "closed_form"
+    #: Timer backend of the shared simulator (event backend only).
+    scheduler: str = "auto"
 
     def __post_init__(self) -> None:
         self.venice = self.venice or VeniceConfig.pair()
         self.cache = self.cache or CacheConfig()
         self.cpu = self.cpu or CpuConfig()
         self.dram = self.dram or DramConfig()
+        if self.backend not in ("closed_form", "event"):
+            raise ValueError(f"unknown transport backend {self.backend!r}")
+        self._system = None
+        self._cross_traffic = None
+
+    # ------------------------------------------------------------------
+    # Event-fabric plumbing (event backend only)
+    # ------------------------------------------------------------------
+    def system(self):
+        """The two-node system whose fabric event-backed channels share."""
+        if self._system is None:
+            from repro.core.system import VeniceSystem
+
+            self._system = VeniceSystem.build(self.venice,
+                                              transport_backend=self.backend,
+                                              scheduler=self.scheduler)
+        return self._system
+
+    def event_transport(self) -> EventTransport:
+        if self.backend != "event":
+            raise ValueError("the closed-form platform has no event transport")
+        return self.system().event_transport()
+
+    def start_cross_traffic(self, payload_bytes: int = 256, window: int = 4,
+                            turnaround_ns: int = 200) -> CrossTrafficDriver:
+        """Contend the pair link: closed-loop flows in both directions.
+
+        Restarting with new parameters stops the previous driver first,
+        so exactly one configured load runs at a time.
+        """
+        if self._cross_traffic is not None:
+            self._cross_traffic.stop()
+        self._cross_traffic = CrossTrafficDriver(
+            self.event_transport(), flows=[(0, 1), (1, 0)],
+            payload_bytes=payload_bytes, window=window,
+            turnaround_ns=turnaround_ns)
+        return self._cross_traffic
+
+    def _backend_for(self, path: FabricPath,
+                     through_router: bool) -> Optional[TransportBackend]:
+        if self.backend != "event":
+            return None  # channels default to ClosedFormBackend(path)
+        if through_router or path.placement is not ChannelPlacement.ON_CHIP:
+            raise ValueError(
+                "the event-backed platform models the on-chip direct pair; "
+                "off-chip placement and extra routers are closed-form knobs")
+        return EventBackend(self.event_transport(), src=0, dst=1, path=path)
 
     # ------------------------------------------------------------------
     # Fabric paths and channels between the two nodes of the experiment
@@ -59,20 +162,23 @@ class ExperimentPlatform:
 
     def crma_channel(self, placement: ChannelPlacement = ChannelPlacement.ON_CHIP,
                      through_router: bool = False) -> CrmaChannel:
-        return CrmaChannel(config=self.venice.crma,
-                           path=self.path(placement, through_router),
-                           donor_dram=Dram(self.dram))
+        path = self.path(placement, through_router)
+        return CrmaChannel(config=self.venice.crma, path=path,
+                           donor_dram=Dram(self.dram),
+                           backend=self._backend_for(path, through_router))
 
     def rdma_channel(self, placement: ChannelPlacement = ChannelPlacement.ON_CHIP,
                      through_router: bool = False) -> RdmaChannel:
-        return RdmaChannel(config=self.venice.rdma,
-                           path=self.path(placement, through_router),
-                           donor_dram=Dram(self.dram))
+        path = self.path(placement, through_router)
+        return RdmaChannel(config=self.venice.rdma, path=path,
+                           donor_dram=Dram(self.dram),
+                           backend=self._backend_for(path, through_router))
 
     def qpair_channel(self, placement: ChannelPlacement = ChannelPlacement.ON_CHIP,
                       through_router: bool = False) -> QPairChannel:
-        return QPairChannel(config=self.venice.qpair,
-                            path=self.path(placement, through_router))
+        path = self.path(placement, through_router)
+        return QPairChannel(config=self.venice.qpair, path=path,
+                            backend=self._backend_for(path, through_router))
 
     # ------------------------------------------------------------------
     # Core builders for the paper's memory-supply strategies

@@ -109,33 +109,98 @@ class MonitorNode:
     # ------------------------------------------------------------------
     # Donor selection
     # ------------------------------------------------------------------
+    def _donor_eligible(self, requester: int, record: ResourceRecord) -> bool:
+        """Shared eligibility rules for every donor-selection path.
+
+        Both the allocation loop and the spill planner must apply the
+        same filters, or a spill plan could include a donor the pinned
+        per-chunk allocation rejects (unwinding the whole borrow).
+        Called *lazily* while walking the policy-ordered candidates --
+        the path check is a shortest-path query, and the first candidate
+        usually wins, so an eager per-candidate filter would pay O(N)
+        graph searches per request.
+        """
+        return (record.node_id in self._agents
+                and self._path_usable(requester, record.node_id))
+
     def _candidate_donors(self, requester: int, kind: ResourceKind,
-                          amount: int) -> List[ResourceRecord]:
+                          amount: int,
+                          donor: Optional[int] = None) -> List[ResourceRecord]:
         """Donors with enough idle resource, ordered by the active policy."""
         candidates = [
             record for record in self.rrt.records_of_kind(kind)
             if record.node_id != requester and record.available >= amount
+            and (donor is None or record.node_id == donor)
         ]
         return self.policy.order(requester, kind, candidates, self.topology, self.rat)
 
+    def memory_spill_plan(self, requester: int,
+                          size_bytes: int) -> List[tuple]:
+        """Split a memory request across donors in policy-preference order.
+
+        Returns ``[(donor, take_bytes), ...]`` covering ``size_bytes``
+        by greedily draining each donor's advertised idle memory before
+        moving to the policy's next choice -- the spill path used when
+        no single donor can cover the request.  Raises
+        :class:`AllocationError` when the whole fleet cannot.
+        """
+        if size_bytes <= 0:
+            raise AllocationError("requested amount must be positive")
+        candidates = [
+            record for record in self.rrt.records_of_kind(ResourceKind.MEMORY)
+            if record.node_id != requester and record.available > 0
+        ]
+        ordered = self.policy.order(requester, ResourceKind.MEMORY,
+                                    candidates, self.topology, self.rat)
+        plan: List[tuple] = []
+        remaining = size_bytes
+        for record in ordered:
+            if remaining <= 0:
+                break
+            if not self._donor_eligible(requester, record):
+                continue
+            take = min(record.available, remaining)
+            plan.append((record.node_id, take))
+            remaining -= take
+        if remaining > 0:
+            raise AllocationError(
+                f"fleet cannot cover {size_bytes} bytes of memory for node "
+                f"{requester}: {remaining} bytes short across "
+                f"{len(plan)} donors")
+        return plan
+
     def _path_usable(self, requester: int, donor: int) -> bool:
-        """True when every link on the path is reported usable (or unknown)."""
+        """True when every link on the path is reported usable (or unknown).
+
+        The TST keys links by the *unordered* node pair; the known-link
+        membership check must normalise the same way, or a DOWN report
+        would be ignored whenever the path traverses the link in the
+        opposite order to the stored key.  (`status()` defaults unknown
+        links to DOWN, hence the membership guard: only links somebody
+        actually reported may veto a path.)
+        """
         path = self.topology.shortest_path(requester, donor)
+        known = {(a, b) for a, b, _ in self.tst.links()}
         for node_a, node_b in zip(path, path[1:]):
-            status = self.tst.status(node_a, node_b)
-            if status is LinkStatus.DOWN and (node_a, node_b) in [
-                (a, b) for a, b, _ in self.tst.links()
-            ]:
+            key = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+            if key in known and self.tst.status(node_a, node_b) is LinkStatus.DOWN:
                 return False
         return True
 
     # ------------------------------------------------------------------
     # Allocation entry points
     # ------------------------------------------------------------------
-    def request_memory(self, requester: int, size_bytes: int) -> Allocation:
-        """Allocate ``size_bytes`` of remote memory for ``requester``."""
+    def request_memory(self, requester: int, size_bytes: int,
+                       donor: Optional[int] = None) -> Allocation:
+        """Allocate ``size_bytes`` of remote memory for ``requester``.
+
+        ``donor`` pins the allocation to one node (used by the spill
+        path, which has already planned per-donor amounts); the default
+        lets the policy choose.
+        """
         return self._request(requester, ResourceKind.MEMORY, size_bytes,
-                             handshake=lambda agent: agent.handle_hot_remove(size_bytes))
+                             handshake=lambda agent: agent.handle_hot_remove(size_bytes),
+                             donor=donor)
 
     def request_accelerator(self, requester: int) -> Allocation:
         """Allocate one remote accelerator for ``requester``."""
@@ -148,23 +213,21 @@ class MonitorNode:
                              handshake=lambda agent: agent.handle_nic_grant())
 
     def _request(self, requester: int, kind: ResourceKind, amount: int,
-                 handshake) -> Allocation:
+                 handshake, donor: Optional[int] = None) -> Allocation:
         if requester not in self._agents:
             raise AllocationError(f"requester node {requester} is not registered")
         if amount <= 0:
             raise AllocationError("requested amount must be positive")
         self.requests_handled += 1
-        candidates = self._candidate_donors(requester, kind, amount)
+        candidates = self._candidate_donors(requester, kind, amount, donor=donor)
         if not candidates:
             raise AllocationError(
                 f"no donor has {amount} of {kind.value} available for node {requester}"
             )
         for record in candidates:
-            if not self._path_usable(requester, record.node_id):
+            if not self._donor_eligible(requester, record):
                 continue
-            agent = self._agents.get(record.node_id)
-            if agent is None:
-                continue
+            agent = self._agents[record.node_id]
             if not handshake(agent):
                 # Stale RRT record: refresh it and try the next donor.
                 self.handshake_retries += 1

@@ -112,7 +112,7 @@ def test_cache_hits_across_clusters_of_different_sizes():
 # ----------------------------------------------------------------------
 def test_matchmaker_memory_share_roundtrip():
     cluster = Cluster(ClusterConfig(num_nodes=8, policy="load-balanced"))
-    share = cluster.matchmaker.borrow_memory(0, 32 * MB)
+    [share] = cluster.matchmaker.borrow_memory(0, 32 * MB)
     assert share.kind is ResourceKind.MEMORY
     assert share.donor != 0
     assert cluster.node(share.donor).donated_memory_bytes == 32 * MB

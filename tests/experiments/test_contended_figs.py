@@ -1,0 +1,95 @@
+"""The Venice sharing experiments over the contended event fabric.
+
+Small-config regression runs of ``fig15_contended`` / ``fig16_contended``:
+the uncontended event mode must validate against the closed forms
+within the stated parity tolerance, the closed-form series must be
+bit-identical to a plain closed-form run (the refactor may not disturb
+them), and cross-traffic must show up as extra measured latency.
+"""
+
+import pytest
+
+from repro.experiments.fig15_remote_memory import (
+    Fig15Config,
+    Fig15ContendedConfig,
+    run_fig15,
+    run_fig15_contended,
+)
+from repro.experiments.fig16_accel_nic import (
+    Fig16Config,
+    Fig16ContendedConfig,
+    run_fig16_contended,
+)
+
+#: Parity bound for whole-experiment ratios (per-op tolerance is 15 %;
+#: the normalised performance ratios cancel most of the uniform delta).
+PARITY_PERCENT = 12.0
+
+
+def _small_fig15() -> Fig15Config:
+    return Fig15Config(inmem_db_dataset_bytes=1024 * 1024,
+                       inmem_db_queries=100,
+                       cc_vertices=256, cc_edges=1_200, cc_iterations=1,
+                       grep_dataset_bytes=512 * 1024,
+                       graph500_scale=7)
+
+
+def _small_fig16() -> Fig16Config:
+    return Fig16Config(small_dataset_bytes=512 * 1024,
+                       large_dataset_bytes=2 * 1024 * 1024,
+                       block_bytes=128 * 1024,
+                       stripe_lanes=1)
+
+
+@pytest.fixture(scope="module")
+def fig15_uncontended():
+    return run_fig15_contended(Fig15ContendedConfig(
+        workloads=_small_fig15(), cross_traffic=False))
+
+
+def test_fig15_uncontended_event_mode_matches_closed_forms(fig15_uncontended):
+    report = fig15_uncontended
+    deviation = report.series["fabric"]["max_rel_deviation_percent"]
+    assert 0 <= deviation <= PARITY_PERCENT
+    assert report.series["fabric"]["transport_ops"] > 0
+    assert report.series["fabric"]["cross_traffic_packets"] == 0
+
+
+def test_fig15_closed_form_series_unchanged_by_the_refactor(fig15_uncontended):
+    plain = run_fig15(_small_fig15())
+    for name in ("all_local", "crma", "rdma_swap"):
+        assert fig15_uncontended.series[f"closed_form_{name}"] == \
+            plain.series[name]
+
+
+def test_fig15_contended_shows_queueing_on_fine_grained_accesses(
+        fig15_uncontended):
+    contended = run_fig15_contended(Fig15ContendedConfig(
+        workloads=_small_fig15()))
+    assert contended.series["fabric"]["cross_traffic_packets"] > 0
+    # Cross-traffic queues the per-cacheline CRMA path: the in-memory
+    # DB's normalised performance drops below its uncontended value.
+    assert (contended.series["event_crma"]["inmem_db"]
+            < fig15_uncontended.series["event_crma"]["inmem_db"])
+    # The closed-form reference is load-blind, so it is identical in
+    # both reports.
+    assert contended.series["closed_form_crma"] == \
+        fig15_uncontended.series["closed_form_crma"]
+
+
+def test_fig16_uncontended_event_mode_matches_closed_forms():
+    report = run_fig16_contended(Fig16ContendedConfig(
+        sizes=_small_fig16(), cross_traffic=False))
+    deviation = report.series["fabric"]["max_rel_deviation_percent"]
+    assert 0 <= deviation <= PARITY_PERCENT
+    # Near-linear accelerator scaling survives on the event fabric.
+    speedups = report.series["event_accel_speedup_2MB"]
+    assert speedups["LA+1RA"] < speedups["LA+2RA"] < speedups["LA+3RA"]
+
+
+def test_fig16_contended_runs_and_reports_cross_traffic():
+    report = run_fig16_contended(Fig16ContendedConfig(sizes=_small_fig16()))
+    assert report.series["fabric"]["cross_traffic_packets"] > 0
+    assert report.series["fabric"]["events_processed"] > 0
+    for prefix in ("closed_form", "event"):
+        assert f"{prefix}_nic_utilization_percent_LN+3RN" in report.series
