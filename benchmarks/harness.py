@@ -8,11 +8,14 @@ star, a 16-node fat-tree (all open-loop, pre-scheduled injections), a
 closed-loop request/response workload (QPair-style: each delivered
 request turns into a response, each response completes a round-trip
 and launches the next request, with datalink credit feedback end to
-end), and a transport-channel workload (``channel_ops``: CRMA reads,
+end), a transport-channel workload (``channel_ops``: CRMA reads,
 QPair round trips and messages, RDMA page streams executed as packets
-through the event transport backend) -- and reports engine throughput
-as *events per second of wall clock* plus total wall time per
-workload.
+through the event transport backend), and an overlapped-op workload
+(``concurrent_ops``: six requesters submit CRMA/QPair/RDMA ops as
+``PendingOp`` handles and each wave is driven with one ``drive_all``,
+so measured packets from different requesters contend through the star
+hub) -- and reports engine throughput as *events per second of wall
+clock* plus total wall time per workload.
 
 The workloads are budget-based (a fixed number of packets injected,
 round-trips completed, or channel ops issued; the run ends when the
@@ -63,6 +66,8 @@ WORKLOADS: Dict[str, dict] = {
                         requests_per_node=250, window=4),
     "channel_ops": dict(num_nodes=2, topology="direct_pair", mode="channel",
                         ops=3000),
+    "concurrent_ops": dict(num_nodes=8, topology="star", mode="concurrent",
+                           ops=3000, requesters=6),
 }
 
 #: Gap between injection rounds, ns (lets queues partially drain so the
@@ -261,11 +266,103 @@ class ChannelOpsDriver:
         return self.latency_total_ns / self.completed if self.completed else 0.0
 
 
+class ConcurrentOpsDriver:
+    """Overlapping transport ops from several requesters on one fabric.
+
+    The submit/drive counterpart of :class:`ChannelOpsDriver`: per wave,
+    every requester submits its next op (CRMA read, QPair round trip,
+    RDMA page stream or QPair message, rotating deterministically) as a
+    :class:`~repro.core.channels.backend.PendingOp` and one
+    ``drive_all`` advances the shared simulator for the whole wave, so
+    the measured packets of different requesters queue behind each
+    other through the star hub -- the path the ``cluster_contended``
+    sweep exercises per borrower access.  Budget-based: the op count
+    (hence the event count) is identical across engine versions.
+    """
+
+    #: Packets injected per op, in submit rotation order (the response
+    #: of a round trip counts; an RDMA 4 KiB page is one chunk).
+    OP_PACKETS = (2, 2, 1, 1)
+
+    def __init__(self, system, ops: int, requesters: int):
+        self.system = system
+        self.ops = ops
+        self.transport = system.event_transport()
+        self.sim = self.transport.sim
+        compute = system.node_ids
+        self._lanes = []
+        for index in range(min(requesters, len(compute))):
+            src = compute[index]
+            dst = compute[(index + 1) % len(compute)]
+            self._lanes.append((
+                system.crma_channel(src, dst),
+                system.qpair_channel(src, dst),
+                system.rdma_channel(src, dst),
+            ))
+        self.packets = sum(self.OP_PACKETS[index % len(self.OP_PACKETS)]
+                           for index in range(ops))
+        self.completed = 0
+        self.latency_total_ns = 0
+
+    def _submit(self, lane: int, op_index: int):
+        crma, qpair, rdma = self._lanes[lane]
+        kind = op_index % 4
+        if kind == 0:
+            return crma.submit_read(64)
+        if kind == 1:
+            return qpair.submit_round_trip(16, 64)
+        if kind == 2:
+            return rdma.submit_transfer(4096)
+        return qpair.submit_message(64)
+
+    def run(self) -> None:
+        lanes = len(self._lanes)
+        index = 0
+        while index < self.ops:
+            batch = []
+            for lane in range(lanes):
+                if index >= self.ops:
+                    break
+                batch.append(self._submit(lane, index))
+                index += 1
+            self.transport.drive_all(batch)
+            for op in batch:
+                self.latency_total_ns += op.latency_ns
+            self.completed += len(batch)
+
+    @property
+    def mean_rtt_ns(self) -> float:
+        return self.latency_total_ns / self.completed if self.completed else 0.0
+
+
 def run_workload(workload: str, packets_per_node: Optional[int] = None,
                  seed: int = 2016, scheduler: str = "auto") -> WorkloadResult:
     """Build, inject and run one workload under the wall-clock timer."""
     spec = WORKLOADS[workload]
     driver = None
+    if spec["mode"] == "concurrent":
+        system = VeniceSystem.build(
+            VeniceConfig(num_nodes=spec["num_nodes"],
+                         topology=spec["topology"]),
+            transport_backend="event", scheduler=scheduler)
+        concurrent_driver = ConcurrentOpsDriver(
+            system, ops=packets_per_node or spec["ops"],
+            requesters=spec["requesters"])
+        start = time.perf_counter()
+        concurrent_driver.run()
+        wall = time.perf_counter() - start
+        sim = concurrent_driver.sim
+        return WorkloadResult(
+            workload=workload,
+            packets=concurrent_driver.packets,
+            delivered=concurrent_driver.completed,
+            events=sim.events_processed,
+            sim_ns=sim.now,
+            wall_s=wall,
+            events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
+            scheduler=sim.scheduler,
+            mean_rtt_ns=concurrent_driver.mean_rtt_ns,
+        )
     if spec["mode"] == "channel":
         system = VeniceSystem.build(
             VeniceConfig(num_nodes=spec["num_nodes"],

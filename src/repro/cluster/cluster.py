@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.latency_cache import ClusterLatencyCache
 from repro.cluster.matchmaker import Matchmaker
+from repro.core.channels.backend import CrossTrafficDriver, EventTransport
 from repro.core.channels.crma import CrmaChannel
 from repro.core.channels.path import CachedFabricPath
 from repro.core.channels.qpair import QPairChannel
@@ -99,6 +100,46 @@ class Cluster:
         self.latency_cache = (latency_cache if latency_cache is not None
                               else ClusterLatencyCache())
         self.matchmaker = Matchmaker(self)
+
+    # ------------------------------------------------------------------
+    # Fleet-wide event transport (event backend only)
+    # ------------------------------------------------------------------
+    @property
+    def event_backed(self) -> bool:
+        """True when this cluster's channels measure ops as packets."""
+        return self.config.transport_backend == "event"
+
+    def event_transport(self) -> EventTransport:
+        """The fleet-wide event-fabric executor every channel shares.
+
+        Built lazily over the cluster's *full* topology (leaves, spines,
+        hubs and all): one simulator and one fabric serve every
+        per-route :class:`~repro.core.channels.backend.EventBackend`
+        this cluster hands out, so concurrent borrowers' measured
+        packets genuinely queue behind each other on shared links.
+        """
+        if not self.event_backed:
+            raise ValueError(
+                "this cluster costs transport through the closed forms; "
+                "build it with ClusterConfig(transport_backend='event') "
+                "to get a fleet-wide event transport")
+        return self.system.event_transport()
+
+    def cross_traffic(self, flows: Optional[List[Tuple[int, int]]] = None,
+                      **kwargs) -> CrossTrafficDriver:
+        """Closed-loop background load over the fleet fabric.
+
+        ``flows`` defaults to a ring over the compute nodes, which
+        crosses every leaf/hub of the topology so all shared links see
+        noise.  Remaining keyword arguments go to
+        :class:`~repro.core.channels.backend.CrossTrafficDriver`.
+        """
+        if flows is None:
+            ids = self.node_ids
+            flows = [(ids[i], ids[(i + 1) % len(ids)])
+                     for i in range(len(ids))]
+        return CrossTrafficDriver(self.event_transport(), flows=flows,
+                                  **kwargs)
 
     # ------------------------------------------------------------------
     # Topology / node access

@@ -13,7 +13,7 @@ again.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.sharing.remote_accelerator import RemoteAcceleratorTarget
 from repro.core.sharing.remote_memory import RemoteMemoryGrant
@@ -122,6 +122,86 @@ class Matchmaker:
                 self.release(share)
             raise
         return shares
+
+    # ------------------------------------------------------------------
+    # Batched, overlappable borrows
+    # ------------------------------------------------------------------
+    def borrow_many(self, requests: Sequence[Tuple[int, int]],
+                    spill: bool = True) -> List[List[ResourceShare]]:
+        """Borrow memory for a whole batch of ``(requester, size)`` pairs.
+
+        All requests are parked on the Monitor Node's request queue
+        first, then donors are planned for the *entire* batch at once
+        (:meth:`~repro.runtime.monitor.MonitorNode.plan_queued_requests`),
+        so one batch never double-books a donor's idle memory and a
+        sweep of N borrowers resolves its shares together instead of
+        first-come-first-served.  Each planned chunk then runs the
+        pinned Figure 2 flow.  On any stale-record failure the whole
+        batch is unwound.  Returns one share list per request, aligned
+        with ``requests`` order; pair with :meth:`touch_shares` to
+        drive every borrower's first remote access concurrently over
+        the fleet's event fabric.
+
+        The batch must have the request queue to itself: planning
+        consumes the *whole* queue, so requests parked there by another
+        caller would be planned -- and allocated -- under this batch's
+        name, misaligning the returned share lists.  A non-empty queue
+        is therefore rejected up front.
+        """
+        monitor = self.cluster.monitor
+        if monitor.queued_requests:
+            raise AllocationError(
+                f"the MN request queue already holds "
+                f"{monitor.queued_requests} parked request(s); plan them "
+                "first -- borrow_many needs the queue to itself to keep "
+                "its results aligned with its requests")
+        for requester, size_bytes in requests:
+            monitor.queue_memory_request(requester, size_bytes)
+        entries = monitor.plan_queued_requests()
+        results: List[List[ResourceShare]] = []
+        created: List[ResourceShare] = []
+        try:
+            for entry in entries:
+                if not spill and len(entry.plan) > 1:
+                    raise AllocationError(
+                        f"request for node {entry.requester} needs "
+                        f"{len(entry.plan)} donors but spill is disabled")
+                shares: List[ResourceShare] = []
+                for donor, take in entry.plan:
+                    share = self._borrow_memory_from(entry.requester, take,
+                                                     donor=donor)
+                    shares.append(share)
+                    created.append(share)
+                results.append(shares)
+        except AllocationError:
+            for share in reversed(created):
+                self.release(share)
+            raise
+        return results
+
+    def touch_shares(self, shares: Sequence[ResourceShare],
+                     size_bytes: int = 64) -> Dict[ResourceShare, int]:
+        """Drive one first access per share concurrently (event backend).
+
+        Submits one measured operation on every share's channel -- a
+        CRMA read for memory shares, an RDMA page stage-in for
+        accelerator shares, a QPair round trip for NIC shares -- and
+        advances the fleet's shared simulator once for all of them, so
+        the first accesses genuinely overlap and queue behind each
+        other on shared links.  Returns each share's measured latency.
+        """
+        transport = self.cluster.event_transport()
+        ops = []
+        for share in shares:
+            if share.kind is ResourceKind.MEMORY:
+                ops.append(share.channel.submit_read(size_bytes))
+            elif share.kind is ResourceKind.ACCELERATOR:
+                ops.append(share.channel.submit_transfer(max(size_bytes, 64)))
+            else:
+                ops.append(share.channel.submit_round_trip(16,
+                                                           max(size_bytes, 64)))
+        transport.drive_all(ops)
+        return {share: op.latency_ns for share, op in zip(shares, ops)}
 
     def borrow_accelerator(self, requester: int,
                            exclusive_mapping: bool = True) -> ResourceShare:

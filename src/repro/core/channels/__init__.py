@@ -23,6 +23,7 @@ from repro.core.channels.backend import (
     CrossTrafficDriver,
     EventBackend,
     EventTransport,
+    PendingOp,
     TransportBackend,
     TransportError,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "ClosedFormBackend",
     "EventBackend",
     "EventTransport",
+    "PendingOp",
     "CrossTrafficDriver",
     "FabricPath",
     "CrmaChannel",

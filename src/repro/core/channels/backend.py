@@ -138,18 +138,50 @@ class ClosedFormBackend(TransportBackend):
         return total
 
 
-class _PendingOp:
-    """Completion flag + measured result of one in-flight transport op."""
+class PendingOp:
+    """Future-like handle for one in-flight transport op.
 
-    __slots__ = ("done", "result_ns")
+    Returned by the :class:`EventTransport` ``submit_*`` primitives (and
+    the channel-level ``submit_*`` wrappers).  The handle stays
+    ``done == False`` until some ``drive_until`` / ``drive_all`` call
+    advances the shared simulator far enough for the op's completion
+    handler to fire; ``result_ns`` is then the transport-measured
+    simulated time and ``latency_ns`` adds the channel's constant
+    processing overheads (``overhead_ns``), giving the same number the
+    blocking channel APIs return.
+    """
 
-    def __init__(self):
+    __slots__ = ("done", "result_ns", "overhead_ns", "label")
+
+    def __init__(self, label: str = ""):
         self.done = False
         self.result_ns = 0
+        #: Constant (non-transport) cost the owning channel adds on top
+        #: of the measured transport time, e.g. request/response
+        #: processing; filled in by the channel-level submit wrappers.
+        self.overhead_ns = 0
+        self.label = label
 
     def complete(self, result_ns: int) -> None:
         self.done = True
         self.result_ns = result_ns
+
+    @property
+    def latency_ns(self) -> int:
+        """Full op latency (transport measurement + channel overheads)."""
+        if not self.done:
+            raise TransportError(
+                f"transport op {self.label or '<unnamed>'} has not "
+                "completed; drive it first (drive_until/drive_all)")
+        return self.result_ns + self.overhead_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = f"done, {self.result_ns} ns" if self.done else "in flight"
+        return f"PendingOp({self.label!r}, {state})"
+
+
+#: Backwards-compatible alias (the handle used to be module-private).
+_PendingOp = PendingOp
 
 
 class EventTransport:
@@ -158,10 +190,17 @@ class EventTransport:
     Owns the local-ejection sink of every switch and dispatches
     deliveries to per-packet handlers, so any number of channels (and
     background traffic drivers) multiplex over one simulator without
-    stealing each other's packets.  Operations run *synchronously*: the
-    caller's op drives the simulator forward until its completion
-    handler fires, interleaving with whatever other traffic is in
-    flight.
+    stealing each other's packets.
+
+    Operation driving is split in two halves.  The ``submit_*``
+    primitives inject an op's packets and return a future-like
+    :class:`PendingOp` handle *without* advancing the simulator; any
+    number of submitted ops from different requesters then genuinely
+    interleave -- queueing behind each other on shared links -- when a
+    single ``drive_all`` (or ``drive_until``) call advances the shared
+    simulator once for all of them.  The blocking ``measure_*`` API is
+    kept as thin submit+drive wrappers, so a lone op behaves exactly as
+    it did when driving was synchronous one-op-at-a-time.
     """
 
     def __init__(self, fabric, time_slice_ns: int = _TIME_SLICE_NS):
@@ -194,6 +233,39 @@ class EventTransport:
         """Register the delivery handler for ``packet``."""
         self._handlers[packet.packet_id] = handler
 
+    def cancel_expected(self, packet_id: int) -> bool:
+        """Drop the delivery handler for ``packet_id`` (if registered).
+
+        The packet itself may still be in flight; once delivered it
+        falls through to the ``unmatched`` counter.  Returns whether a
+        handler was actually removed.
+        """
+        return self._handlers.pop(packet_id, None) is not None
+
+    @property
+    def expected_packets(self) -> int:
+        """Packets with a registered delivery handler (leak canary)."""
+        return len(self._handlers)
+
+    def drain_quiet(self) -> None:
+        """Run the fabric to idleness and assert no handler leaked.
+
+        Only valid while no background source is registered (a loaded
+        fabric never drains).  After the drain every injected packet has
+        been delivered, so a non-empty expected-packet map means some
+        producer registered handlers it never cleaned up -- the
+        stale-handler leak long sweeps must not accumulate.
+        """
+        if self._background:
+            raise TransportError(
+                "cannot quiet-drain while background traffic is "
+                "registered; stop the cross-traffic drivers first")
+        self.sim.run_until_idle()
+        if self._handlers:
+            raise TransportError(
+                f"{len(self._handlers)} expected-packet handlers "
+                "survived a quiet drain (stale-handler leak)")
+
     def inject(self, packet: Packet) -> None:
         """Hand a packet to its source node's switch."""
         self.fabric.switches[packet.src].inject(packet)
@@ -212,64 +284,87 @@ class EventTransport:
         return self._background > 0
 
     # ------------------------------------------------------------------
-    # Synchronous op driving
+    # Op driving
     # ------------------------------------------------------------------
-    def drive(self, op: _PendingOp) -> int:
-        """Advance the shared simulator until ``op`` completes.
+    def drive_all(self, ops: Sequence[PendingOp]) -> List[int]:
+        """Advance the shared simulator until every op in ``ops`` completes.
 
-        Without background traffic the queue drains once the op (and any
-        piggybacking posted packets) finish, so one ``run_until_idle``
-        suffices.  With background traffic the queue normally never
-        empties; the op is driven in fixed simulated-time slices so
-        control returns between slices to detect completion.  Slices
-        that dispatch nothing are fine -- ``run(until=...)`` still
-        advances the clock towards far-future timers (long server
-        turnarounds, slow noise relaunches) -- so the only true stall is
-        an *empty* queue with the op incomplete: its packet was lost.
+        This is the overlap primitive: all submitted ops advance
+        together through one simulator run, so packets from different
+        requesters interleave and queue behind each other instead of
+        executing in artificial isolation.  Returns the transport-level
+        ``result_ns`` of each op, in ``ops`` order.
+
+        Without background traffic the queue drains once the ops (and
+        any piggybacking posted packets) finish, so one
+        ``run_until_idle`` suffices.  With background traffic the queue
+        normally never empties; the ops are driven in fixed
+        simulated-time slices so control returns between slices to
+        detect completion.  Slices that dispatch nothing are fine --
+        ``run(until=...)`` still advances the clock towards far-future
+        timers (long server turnarounds, slow noise relaunches) -- so
+        the only true stall is an *empty* queue with some op incomplete:
+        its packet was lost.
         """
         sim = self.sim
-        while not op.done:
+        pending = [op for op in ops if not op.done]
+        while pending:
             if self._background == 0:
                 sim.run_until_idle()
-                if not op.done:
+                pending = [op for op in pending if not op.done]
+                if pending:
                     raise TransportError(
-                        "event fabric drained without completing the "
-                        "transport op (packet lost or sink detached)")
+                        "event fabric drained without completing "
+                        f"{len(pending)} transport op(s) (packet lost "
+                        "or sink detached)")
             else:
                 sim.run(until=sim.now + self.time_slice_ns)
-                if not op.done and len(sim) == 0:
+                pending = [op for op in pending if not op.done]
+                if pending and len(sim) == 0:
                     raise TransportError(
-                        "event fabric drained without completing the "
-                        "transport op (packet lost or sink detached) "
-                        "while background traffic was registered")
-        self.ops_completed += 1
+                        "event fabric drained without completing "
+                        f"{len(pending)} transport op(s) (packet lost "
+                        "or sink detached) while background traffic "
+                        "was registered")
+        return [op.result_ns for op in ops]
+
+    def drive_until(self, op: PendingOp) -> int:
+        """Advance the shared simulator until ``op`` (alone) completes."""
+        self.drive_all((op,))
         return op.result_ns
 
+    #: Backwards-compatible alias for the pre-split single-op driver.
+    drive = drive_until
+
+    def _finish(self, op: PendingOp, result_ns: int) -> None:
+        op.complete(result_ns)
+        self.ops_completed += 1
+
     # ------------------------------------------------------------------
-    # Measured primitive ops
+    # Submitted primitive ops (inject now, drive later)
     # ------------------------------------------------------------------
-    def measure_one_way(self, src: int, dst: int, payload_bytes: int,
-                        packet_kind: PacketKind) -> int:
-        op = _PendingOp()
+    def submit_one_way(self, src: int, dst: int, payload_bytes: int,
+                       packet_kind: PacketKind) -> PendingOp:
+        op = PendingOp(label=f"one_way {src}->{dst}")
         start = self.sim.now
         packet = Packet(src=src, dst=dst, kind=packet_kind,
                         payload_bytes=payload_bytes, created_at=start)
         self.expect(packet,
-                    lambda _p: op.complete(self.sim.now - start))
+                    lambda _p: self._finish(op, self.sim.now - start))
         self.inject(packet)
-        return self.drive(op)
+        return op
 
-    def measure_round_trip(self, src: int, dst: int, request_bytes: int,
-                           response_bytes: int, server_ns: int,
-                           request_kind: PacketKind,
-                           response_kind: PacketKind) -> int:
-        op = _PendingOp()
+    def submit_round_trip(self, src: int, dst: int, request_bytes: int,
+                          response_bytes: int, server_ns: int,
+                          request_kind: PacketKind,
+                          response_kind: PacketKind) -> PendingOp:
+        op = PendingOp(label=f"round_trip {src}->{dst}")
         start = self.sim.now
         request = Packet(src=src, dst=dst, kind=request_kind,
                          payload_bytes=request_bytes, created_at=start)
 
         def on_response(_packet: Packet) -> None:
-            op.complete(self.sim.now - start)
+            self._finish(op, self.sim.now - start)
 
         def send_response(_value=None) -> None:
             response = Packet(src=dst, dst=src, kind=response_kind,
@@ -287,29 +382,29 @@ class EventTransport:
 
         self.expect(request, on_request)
         self.inject(request)
-        return self.drive(op)
+        return op
 
-    def measure_occupancy(self, src: int, dst: int, payload_bytes: int,
-                          packet_kind: PacketKind) -> int:
+    def submit_occupancy(self, src: int, dst: int, payload_bytes: int,
+                         packet_kind: PacketKind) -> PendingOp:
         """Delivery spacing of two back-to-back packets (pipelined cost)."""
-        op = _PendingOp()
+        op = PendingOp(label=f"occupancy {src}->{dst}")
         arrivals: List[int] = []
 
         def on_delivery(_packet: Packet) -> None:
             arrivals.append(self.sim.now)
             if len(arrivals) == 2:
-                op.complete(arrivals[1] - arrivals[0])
+                self._finish(op, arrivals[1] - arrivals[0])
 
         for _ in range(2):
             packet = Packet(src=src, dst=dst, kind=packet_kind,
                             payload_bytes=payload_bytes)
             self.expect(packet, on_delivery)
             self.inject(packet)
-        return self.drive(op)
+        return op
 
-    def measure_stream(self, src: int, dst: int, chunk_sizes: Sequence[int],
-                       per_chunk_server_ns: int,
-                       packet_kind: PacketKind) -> int:
+    def submit_stream(self, src: int, dst: int, chunk_sizes: Sequence[int],
+                      per_chunk_server_ns: int,
+                      packet_kind: PacketKind) -> PendingOp:
         """Makespan of a chunked transfer: inject-all, credit-paced.
 
         All chunks are offered to the fabric at once; the datalink
@@ -318,17 +413,18 @@ class EventTransport:
         op completes when the last service finishes, so services overlap
         the link exactly as double-buffered descriptors do.
         """
-        op = _PendingOp()
+        op = PendingOp(label=f"stream {src}->{dst}")
         start = self.sim.now
         remaining = len(chunk_sizes)
         if remaining == 0:
-            return 0
+            self._finish(op, 0)
+            return op
 
         def service_done(_value=None) -> None:
             nonlocal remaining
             remaining -= 1
             if remaining == 0:
-                op.complete(self.sim.now - start)
+                self._finish(op, self.sim.now - start)
 
         def on_chunk(_packet: Packet) -> None:
             if per_chunk_server_ns > 0:
@@ -341,7 +437,35 @@ class EventTransport:
                            payload_bytes=size, created_at=start)
             self.expect(chunk, on_chunk)
             self.inject(chunk)
-        return self.drive(op)
+        return op
+
+    # ------------------------------------------------------------------
+    # Blocking measured ops (submit + drive, the pre-split API)
+    # ------------------------------------------------------------------
+    def measure_one_way(self, src: int, dst: int, payload_bytes: int,
+                        packet_kind: PacketKind) -> int:
+        return self.drive_until(self.submit_one_way(src, dst, payload_bytes,
+                                                    packet_kind))
+
+    def measure_round_trip(self, src: int, dst: int, request_bytes: int,
+                           response_bytes: int, server_ns: int,
+                           request_kind: PacketKind,
+                           response_kind: PacketKind) -> int:
+        return self.drive_until(self.submit_round_trip(
+            src, dst, request_bytes, response_bytes, server_ns,
+            request_kind, response_kind))
+
+    def measure_occupancy(self, src: int, dst: int, payload_bytes: int,
+                          packet_kind: PacketKind) -> int:
+        return self.drive_until(self.submit_occupancy(src, dst, payload_bytes,
+                                                      packet_kind))
+
+    def measure_stream(self, src: int, dst: int, chunk_sizes: Sequence[int],
+                       per_chunk_server_ns: int,
+                       packet_kind: PacketKind) -> int:
+        return self.drive_until(self.submit_stream(src, dst, chunk_sizes,
+                                                   per_chunk_server_ns,
+                                                   packet_kind))
 
     def post(self, src: int, dst: int, payload_bytes: int,
              packet_kind: PacketKind) -> None:
@@ -399,6 +523,34 @@ class EventBackend(TransportBackend):
     def stream_ns(self, chunk_bytes, chunks, last_chunk_bytes,
                   per_chunk_server_ns, lanes=1, double_buffering=True,
                   packet_kind=PacketKind.RDMA_CHUNK):
+        return self.transport.drive_until(self.submit_stream(
+            chunk_bytes, chunks, last_chunk_bytes, per_chunk_server_ns,
+            lanes=lanes, double_buffering=double_buffering,
+            packet_kind=packet_kind))
+
+    # ------------------------------------------------------------------
+    # Submitted (overlappable) ops
+    # ------------------------------------------------------------------
+    def submit_one_way(self, payload_bytes,
+                       packet_kind=PacketKind.QPAIR_DATA) -> PendingOp:
+        return self.transport.submit_one_way(self.src, self.dst,
+                                             payload_bytes, packet_kind)
+
+    def submit_round_trip(self, request_bytes, response_bytes, server_ns=0,
+                          request_kind=PacketKind.CRMA_READ,
+                          response_kind=PacketKind.CRMA_READ_RESP) -> PendingOp:
+        return self.transport.submit_round_trip(
+            self.src, self.dst, request_bytes, response_bytes, server_ns,
+            request_kind, response_kind)
+
+    def submit_occupancy(self, payload_bytes,
+                         packet_kind=PacketKind.QPAIR_DATA) -> PendingOp:
+        return self.transport.submit_occupancy(self.src, self.dst,
+                                               payload_bytes, packet_kind)
+
+    def submit_stream(self, chunk_bytes, chunks, last_chunk_bytes,
+                      per_chunk_server_ns, lanes=1, double_buffering=True,
+                      packet_kind=PacketKind.RDMA_CHUNK) -> PendingOp:
         # The event fabric is single-lane and always overlaps donor-side
         # services with the link.  Silently measuring a differently
         # configured stream would report model mismatch as if it were
@@ -414,8 +566,8 @@ class EventBackend(TransportBackend):
                 "(double buffering); serialised streams are a "
                 "closed-form knob")
         sizes = [chunk_bytes] * max(0, chunks - 1) + [last_chunk_bytes]
-        return self.transport.measure_stream(self.src, self.dst, sizes,
-                                             per_chunk_server_ns, packet_kind)
+        return self.transport.submit_stream(self.src, self.dst, sizes,
+                                            per_chunk_server_ns, packet_kind)
 
 
 class CrossTrafficDriver:
@@ -450,6 +602,10 @@ class CrossTrafficDriver:
         #: beyond the configured depth.
         self._in_flight: Dict[Tuple[int, int], int] = {
             flow: 0 for flow in self.flows}
+        #: Undelivered noise packets (id -> flow).  Mirrors the expect
+        #: handlers this driver holds in the transport, so stop() can
+        #: prune exactly its own registrations.
+        self._pending: Dict[int, Tuple[int, int]] = {}
         if self.flows:
             self.start()
 
@@ -463,11 +619,22 @@ class CrossTrafficDriver:
                 self._launch(src, dst)
 
     def stop(self) -> None:
-        """Stop re-injecting; in-flight packets drain on the next ops."""
+        """Stop re-injecting and prune this driver's expect handlers.
+
+        In-flight noise packets are abandoned: their handlers are
+        removed from the transport (so long sweeps that cycle many
+        drivers over one transport cannot grow the expected-packet map
+        unboundedly) and the packets drain through the fabric as
+        unmatched deliveries on the next driven ops.
+        """
         if not self.active:
             return
         self.active = False
         self.transport.remove_background_source()
+        for packet_id, flow in self._pending.items():
+            if self.transport.cancel_expected(packet_id):
+                self._in_flight[flow] -= 1
+        self._pending.clear()
 
     def _launch(self, src: int, dst: int) -> None:
         packet = Packet(src=src, dst=dst, kind=self.packet_kind,
@@ -475,11 +642,13 @@ class CrossTrafficDriver:
                         created_at=self.transport.sim.now)
         self.packets_sent += 1
         self._in_flight[(src, dst)] += 1
+        self._pending[packet.packet_id] = (src, dst)
         self.transport.expect(packet, self._relaunch)
         self.transport.inject(packet)
 
     def _relaunch(self, packet: Packet) -> None:
         self._in_flight[(packet.src, packet.dst)] -= 1
+        self._pending.pop(packet.packet_id, None)
         if not self.active:
             return
         sim = self.transport.sim

@@ -22,7 +22,12 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.address import AddressMappingError, RemoteAddressMappingTable, TransportTlb
-from repro.core.channels.backend import ClosedFormBackend, TransportBackend
+from repro.core.channels.backend import (
+    ClosedFormBackend,
+    PendingOp,
+    TransportBackend,
+    TransportError,
+)
 from repro.core.channels.path import FabricPath
 from repro.core.config import CrmaConfig
 from repro.cpu.hierarchy import RemoteMemoryBackend
@@ -99,6 +104,33 @@ class CrmaChannel:
         return (self.config.request_processing_ns
                 + transport
                 + self.config.response_processing_ns)
+
+    def submit_read(self, size_bytes: int) -> PendingOp:
+        """Submit one remote cacheline fill without driving the fabric.
+
+        Event-backend only: the read's request packet is injected and a
+        :class:`~repro.core.channels.backend.PendingOp` handle returned,
+        so any number of requesters' reads can be driven together with
+        :meth:`~repro.core.channels.backend.EventTransport.drive_all`
+        and genuinely contend on shared links.  ``op.latency_ns`` then
+        matches what :meth:`read_latency_ns` would have returned.
+        """
+        if size_bytes <= 0:
+            raise ValueError("read size must be positive")
+        submit = getattr(self.backend, "submit_round_trip", None)
+        if submit is None:
+            raise TransportError(
+                f"{self.name}: submitted (overlappable) reads require "
+                "the event transport backend")
+        self.stats.counter("reads").increment()
+        self.stats.counter("read_bytes").increment(size_bytes)
+        op = submit(_REQUEST_PAYLOAD_BYTES, size_bytes,
+                    server_ns=self.donor_dram.access_latency_ns(size_bytes),
+                    request_kind=PacketKind.CRMA_READ,
+                    response_kind=PacketKind.CRMA_READ_RESP)
+        op.overhead_ns += (self.config.request_processing_ns
+                           + self.config.response_processing_ns)
+        return op
 
     def write_latency_ns(self, size_bytes: int) -> int:
         """Latency of one remote write (posted: retires once packetised)."""

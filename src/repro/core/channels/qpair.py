@@ -20,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.channels.backend import ClosedFormBackend, TransportBackend
+from repro.core.channels.backend import (
+    ClosedFormBackend,
+    PendingOp,
+    TransportBackend,
+    TransportError,
+)
 from repro.core.channels.path import FabricPath
 from repro.core.config import QPairConfig
 from repro.cpu.hierarchy import RemoteMemoryBackend
@@ -86,6 +91,52 @@ class QPairChannel:
             response_kind=PacketKind.QPAIR_ACK)
         return (self.send_overhead_ns() + transport
                 + self.receive_overhead_ns())
+
+    def submit_message(self, payload_bytes: int) -> PendingOp:
+        """Submit one one-way message without driving the fabric.
+
+        Event-backend only; the counterpart of :meth:`message_latency_ns`
+        for overlapped (submit + ``drive_all``) operation.
+        """
+        if payload_bytes <= 0:
+            raise ValueError("message size must be positive")
+        submit = getattr(self.backend, "submit_one_way", None)
+        if submit is None:
+            raise TransportError(
+                f"{self.name}: submitted (overlappable) messages "
+                "require the event transport backend")
+        self.stats.counter("messages").increment()
+        self.stats.counter("bytes").increment(payload_bytes)
+        op = submit(payload_bytes, packet_kind=PacketKind.QPAIR_DATA)
+        op.overhead_ns += self.send_overhead_ns() + self.receive_overhead_ns()
+        return op
+
+    def submit_round_trip(self, request_bytes: int, response_bytes: int,
+                          remote_handler_ns: int = 0) -> PendingOp:
+        """Submit one request/response exchange without driving the fabric.
+
+        Event-backend only; the returned handle resolves (under
+        ``drive_all``) to the same latency
+        :meth:`round_trip_latency_ns` would have measured, but any
+        number of submitted exchanges from concurrent requesters
+        overlap on the shared fabric instead of serializing.
+        """
+        if request_bytes <= 0 or response_bytes <= 0:
+            raise ValueError("message size must be positive")
+        submit = getattr(self.backend, "submit_round_trip", None)
+        if submit is None:
+            raise TransportError(
+                f"{self.name}: submitted (overlappable) round trips "
+                "require the event transport backend")
+        self.stats.counter("messages").increment(2)
+        self.stats.counter("bytes").increment(request_bytes + response_bytes)
+        server_ns = (self.receive_overhead_ns() + remote_handler_ns
+                     + self.send_overhead_ns())
+        op = submit(request_bytes, response_bytes, server_ns=server_ns,
+                    request_kind=PacketKind.QPAIR_DATA,
+                    response_kind=PacketKind.QPAIR_ACK)
+        op.overhead_ns += self.send_overhead_ns() + self.receive_overhead_ns()
+        return op
 
     # ------------------------------------------------------------------
     # Streaming throughput

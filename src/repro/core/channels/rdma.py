@@ -13,7 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.channels.backend import ClosedFormBackend, TransportBackend
+from repro.core.channels.backend import (
+    ClosedFormBackend,
+    PendingOp,
+    TransportBackend,
+    TransportError,
+)
 from repro.core.channels.path import FabricPath
 from repro.core.config import RdmaConfig
 from repro.fabric.packet import PacketKind
@@ -70,6 +75,36 @@ class RdmaChannel:
         self.stats.counter("transfers").increment()
         self.stats.counter("bytes").increment(size_bytes)
         return int(total)
+
+    def submit_transfer(self, size_bytes: int) -> PendingOp:
+        """Submit one chunked DMA transfer without driving the fabric.
+
+        Event-backend only; the chunks are offered to the fabric now and
+        the returned handle resolves (under ``drive_all``) to the same
+        latency :meth:`transfer_latency_ns` would have measured, letting
+        bulk transfers from concurrent requesters share the wire.
+        """
+        submit = getattr(self.backend, "submit_stream", None)
+        if submit is None:
+            raise TransportError(
+                f"{self.name}: submitted (overlappable) transfers "
+                "require the event transport backend")
+        chunks = self.chunk_count(size_bytes)
+        chunk_bytes = min(size_bytes, self.config.max_chunk_bytes)
+        last_chunk_bytes = size_bytes - (chunks - 1) * self.config.max_chunk_bytes
+        self.stats.counter("transfers").increment()
+        self.stats.counter("bytes").increment(size_bytes)
+        op = submit(
+            chunk_bytes=chunk_bytes,
+            chunks=chunks,
+            last_chunk_bytes=last_chunk_bytes,
+            per_chunk_server_ns=self.donor_dram.dma_latency_ns(chunk_bytes),
+            lanes=max(1, self.config.stripe_lanes),
+            double_buffering=self.config.double_buffering,
+            packet_kind=PacketKind.RDMA_CHUNK)
+        op.overhead_ns += (self.config.descriptor_setup_ns
+                           + self.config.completion_ns)
+        return op
 
     def streaming_bandwidth_gbps(self, chunk_bytes: Optional[int] = None) -> float:
         """Sustained bandwidth of back-to-back chunked transfers."""

@@ -20,6 +20,7 @@ from repro.experiments.fig15_remote_memory import run_fig15
 from repro.experiments.fig16_accel_nic import run_fig16a, run_fig16b
 from repro.experiments.fig17_channels import run_fig17
 from repro.experiments.fig18_flow_control import run_fig18
+from repro.experiments.fig_cluster_contended import run_fig_cluster_contended
 from repro.experiments.fig_cluster_contention import (
     run_fig_cluster_contention,
     run_fig_cluster_contention_closed_loop,
@@ -37,6 +38,7 @@ __all__ = [
     "run_fig16b",
     "run_fig17",
     "run_fig18",
+    "run_fig_cluster_contended",
     "run_fig_cluster_contention",
     "run_fig_cluster_contention_closed_loop",
     "run_fig_cluster_scaling",

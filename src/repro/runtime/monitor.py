@@ -42,6 +42,28 @@ class Allocation:
     hops: int
 
 
+@dataclass
+class QueuedRequest:
+    """One batched memory request parked on the MN's request queue."""
+
+    ticket: int
+    requester: int
+    size_bytes: int
+
+
+@dataclass
+class BatchPlanEntry:
+    """Planned donor split for one queued request.
+
+    ``plan`` is ``[(donor, take_bytes), ...]`` -- a single entry in the
+    common one-donor case, multiple when the request had to spill.
+    """
+
+    ticket: int
+    requester: int
+    plan: List[tuple]
+
+
 class MonitorNode:
     """The central resource manager (must be spared in a real deployment;
     the prototype -- and this model -- run a single instance)."""
@@ -58,6 +80,8 @@ class MonitorNode:
         self.now_ns = 0
         self.requests_handled = 0
         self.handshake_retries = 0
+        self._request_queue: List[QueuedRequest] = []
+        self._next_ticket = 0
 
     # ------------------------------------------------------------------
     # Registration and heartbeats
@@ -134,6 +158,46 @@ class MonitorNode:
         ]
         return self.policy.order(requester, kind, candidates, self.topology, self.rat)
 
+    def _eligible_memory_donors(self, requester: int,
+                                available: Dict[int, int]):
+        """Policy-ordered eligible memory donors, yielded lazily.
+
+        ``available`` maps donor id to the idle bytes the caller is
+        planning against -- the live RRT view for the unbatched spill
+        path, a working copy for batch planning.  Yielding keeps the
+        eligibility check (a shortest-path query) lazy, so greedy
+        consumers stop paying it once their demand is covered; both the
+        spill planner and the batch planner walk this one generator, so
+        their donor choices can never diverge.
+        """
+        candidates = [
+            record for record in self.rrt.records_of_kind(ResourceKind.MEMORY)
+            if record.node_id != requester
+            and available.get(record.node_id, 0) > 0
+        ]
+        for record in self.policy.order(requester, ResourceKind.MEMORY,
+                                        candidates, self.topology, self.rat):
+            if self._donor_eligible(requester, record):
+                yield record
+
+    def _greedy_memory_plan(self, requester: int, size_bytes: int,
+                            available: Dict[int, int]) -> List[tuple]:
+        """Drain policy-ordered donors until ``size_bytes`` is covered."""
+        plan: List[tuple] = []
+        remaining = size_bytes
+        for record in self._eligible_memory_donors(requester, available):
+            if remaining <= 0:
+                break
+            take = min(available[record.node_id], remaining)
+            plan.append((record.node_id, take))
+            remaining -= take
+        if remaining > 0:
+            raise AllocationError(
+                f"fleet cannot cover {size_bytes} bytes of memory for node "
+                f"{requester}: {remaining} bytes short across "
+                f"{len(plan)} donors")
+        return plan
+
     def memory_spill_plan(self, requester: int,
                           size_bytes: int) -> List[tuple]:
         """Split a memory request across donors in policy-preference order.
@@ -146,28 +210,90 @@ class MonitorNode:
         """
         if size_bytes <= 0:
             raise AllocationError("requested amount must be positive")
-        candidates = [
-            record for record in self.rrt.records_of_kind(ResourceKind.MEMORY)
-            if record.node_id != requester and record.available > 0
-        ]
-        ordered = self.policy.order(requester, ResourceKind.MEMORY,
-                                    candidates, self.topology, self.rat)
-        plan: List[tuple] = []
-        remaining = size_bytes
-        for record in ordered:
-            if remaining <= 0:
-                break
-            if not self._donor_eligible(requester, record):
-                continue
-            take = min(record.available, remaining)
-            plan.append((record.node_id, take))
-            remaining -= take
-        if remaining > 0:
+        available = {
+            record.node_id: record.available
+            for record in self.rrt.records_of_kind(ResourceKind.MEMORY)
+        }
+        return self._greedy_memory_plan(requester, size_bytes, available)
+
+    # ------------------------------------------------------------------
+    # Batched request queue
+    # ------------------------------------------------------------------
+    def queue_memory_request(self, requester: int, size_bytes: int) -> int:
+        """Park one memory request on the batch queue; returns a ticket.
+
+        Queued requests are not allocated until
+        :meth:`plan_queued_requests` plans the whole batch, so a sweep
+        of N borrowers can register every request first and then have
+        donors assigned with knowledge of the *entire* demand instead
+        of first-come-first-served greed.
+        """
+        if requester not in self._agents:
             raise AllocationError(
-                f"fleet cannot cover {size_bytes} bytes of memory for node "
-                f"{requester}: {remaining} bytes short across "
-                f"{len(plan)} donors")
-        return plan
+                f"requester node {requester} is not registered")
+        if size_bytes <= 0:
+            raise AllocationError("requested amount must be positive")
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._request_queue.append(
+            QueuedRequest(ticket=ticket, requester=requester,
+                          size_bytes=size_bytes))
+        return ticket
+
+    @property
+    def queued_requests(self) -> int:
+        """Requests currently parked on the batch queue."""
+        return len(self._request_queue)
+
+    def plan_queued_requests(self) -> List[BatchPlanEntry]:
+        """Plan donors for every queued request against shared capacity.
+
+        Consumes the queue (even on failure -- nothing was allocated, so
+        callers simply re-queue if they want to retry) and plans in FIFO
+        order against a *working copy* of the advertised idle memory, so
+        one batch never double-books a donor: bytes planned for an
+        earlier ticket are unavailable to later ones.  Each request
+        prefers a single policy-ordered donor and spills across donors
+        only when no single one can cover it (the same semantics as the
+        unbatched borrow path).  Raises :class:`AllocationError` when
+        the fleet cannot cover the whole batch.
+        """
+        batch, self._request_queue = self._request_queue, []
+        available: Dict[int, int] = {
+            record.node_id: record.available
+            for record in self.rrt.records_of_kind(ResourceKind.MEMORY)
+        }
+        entries: List[BatchPlanEntry] = []
+        for request in batch:
+            # Single-donor preference, then greedy spill in policy
+            # order -- the same semantics as the unbatched borrow path
+            # (request_memory, then memory_spill_plan on refusal), and
+            # the same donor walk (_eligible_memory_donors).  Planning
+            # is not an allocation: requests_handled counts only the
+            # per-chunk pinned requests the caller actually issues.
+            single = next(
+                (record for record
+                 in self._eligible_memory_donors(request.requester, available)
+                 if available[record.node_id] >= request.size_bytes),
+                None)
+            if single is not None:
+                plan = [(single.node_id, request.size_bytes)]
+            else:
+                try:
+                    plan = self._greedy_memory_plan(request.requester,
+                                                    request.size_bytes,
+                                                    available)
+                except AllocationError as error:
+                    raise AllocationError(
+                        f"batched request (ticket {request.ticket}, after "
+                        f"{len(entries)} earlier tickets): {error}"
+                    ) from None
+            for donor, take in plan:
+                available[donor] -= take
+            entries.append(BatchPlanEntry(ticket=request.ticket,
+                                          requester=request.requester,
+                                          plan=plan))
+        return entries
 
     def _path_usable(self, requester: int, donor: int) -> bool:
         """True when every link on the path is reported usable (or unknown).

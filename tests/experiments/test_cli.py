@@ -9,7 +9,7 @@ def test_every_paper_result_has_an_experiment_id():
     ids = available_experiments()
     assert {"fig03", "fig05", "fig06", "fig14", "fig15",
             "fig16a", "fig16b", "fig17", "fig18", "cluster",
-            "contention", "contention_closed",
+            "contention", "contention_closed", "cluster_contended",
             "fig15_contended", "fig16_contended",
             "hwcost"} <= set(ids)
 
