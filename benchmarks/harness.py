@@ -30,6 +30,7 @@ Usage::
     PYTHONPATH=src python benchmarks/harness.py --workload fat_tree \
         --scheduler calendar --min-events-per-sec 150000         # CI smoke gate
     PYTHONPATH=src python benchmarks/harness.py --profile        # cProfile top-20
+    PYTHONPATH=src python benchmarks/harness.py --sanitize       # sanitizer on
 
 See ``benchmarks/README.md`` for the BENCH_engine.json schema.
 """
@@ -93,6 +94,7 @@ class WorkloadResult:
     events_per_sec: float
     scheduler: str = "auto"
     mean_rtt_ns: Optional[float] = None
+    sanitize: bool = False
 
     def to_dict(self) -> dict:
         data = {
@@ -109,15 +111,23 @@ class WorkloadResult:
         }
         if self.mean_rtt_ns is not None:
             data["mean_rtt_ns"] = round(self.mean_rtt_ns, 1)
+        if self.sanitize:
+            # Only stamped when on: sanitized numbers must never be
+            # compared against production ones silently, and omitting
+            # the key keeps sanitize-off reports byte-identical to
+            # reports from before the sanitizer existed.
+            data["sanitize"] = True
         return data
 
 
-def build_fabric(workload: str, scheduler: str = "auto"):
+def build_fabric(workload: str, scheduler: str = "auto",
+                 sanitize: Optional[bool] = None):
     """System + event fabric + delivery-counting sinks for one workload."""
     spec = WORKLOADS[workload]
     system = VeniceSystem.build(VeniceConfig(num_nodes=spec["num_nodes"],
                                              topology=spec["topology"]))
-    fabric = system.build_event_fabric(sim=Simulator(scheduler=scheduler))
+    fabric = system.build_event_fabric(
+        sim=Simulator(scheduler=scheduler, sanitize=sanitize))
     # Sink cost is part of the measured wall clock: a bound list append
     # is the cheapest per-delivery accounting available in pure Python.
     delivered: List[Packet] = []
@@ -336,15 +346,25 @@ class ConcurrentOpsDriver:
 
 
 def run_workload(workload: str, packets_per_node: Optional[int] = None,
-                 seed: int = 2016, scheduler: str = "auto") -> WorkloadResult:
-    """Build, inject and run one workload under the wall-clock timer."""
+                 seed: int = 2016, scheduler: str = "auto",
+                 sanitize: bool = False) -> WorkloadResult:
+    """Build, inject and run one workload under the wall-clock timer.
+
+    ``sanitize=True`` runs the workload with the runtime sanitizer on
+    (dispatch-order, credit-conservation and lifecycle checks); with the
+    default ``False`` the ``SIM_SANITIZE`` environment variable still
+    applies, matching the Simulator's own precedence.
+    """
     spec = WORKLOADS[workload]
+    # True opts in; None defers to SIM_SANITIZE so an env-sanitized
+    # bench run is honestly stamped in its results.
+    san = True if sanitize else None
     driver = None
     if spec["mode"] == "concurrent":
         system = VeniceSystem.build(
             VeniceConfig(num_nodes=spec["num_nodes"],
                          topology=spec["topology"]),
-            transport_backend="event", scheduler=scheduler)
+            transport_backend="event", scheduler=scheduler, sanitize=san)
         concurrent_driver = ConcurrentOpsDriver(
             system, ops=packets_per_node or spec["ops"],
             requesters=spec["requesters"])
@@ -362,12 +382,13 @@ def run_workload(workload: str, packets_per_node: Optional[int] = None,
             events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
             scheduler=sim.scheduler,
             mean_rtt_ns=concurrent_driver.mean_rtt_ns,
+            sanitize=sim.sanitize,
         )
     if spec["mode"] == "channel":
         system = VeniceSystem.build(
             VeniceConfig(num_nodes=spec["num_nodes"],
                          topology=spec["topology"]),
-            transport_backend="event", scheduler=scheduler)
+            transport_backend="event", scheduler=scheduler, sanitize=san)
         channel_driver = ChannelOpsDriver(system,
                                           ops=packets_per_node or spec["ops"])
         start = time.perf_counter()
@@ -384,17 +405,20 @@ def run_workload(workload: str, packets_per_node: Optional[int] = None,
             events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
             scheduler=sim.scheduler,
             mean_rtt_ns=channel_driver.mean_rtt_ns,
+            sanitize=sim.sanitize,
         )
     if spec["mode"] == "closed":
         system = VeniceSystem.build(VeniceConfig(num_nodes=spec["num_nodes"],
                                                  topology=spec["topology"]))
-        fabric = system.build_event_fabric(sim=Simulator(scheduler=scheduler))
+        fabric = system.build_event_fabric(
+            sim=Simulator(scheduler=scheduler, sanitize=san))
         driver = ClosedLoopDriver(
             system, fabric,
             requests_per_node=packets_per_node or spec["requests_per_node"],
             window=spec["window"], seed=seed)
     else:
-        system, fabric, delivered = build_fabric(workload, scheduler=scheduler)
+        system, fabric, delivered = build_fabric(workload, scheduler=scheduler,
+                                                 sanitize=san)
         injected = inject_traffic(system, fabric, workload,
                                   packets_per_node or spec["packets_per_node"],
                                   seed=seed)
@@ -413,19 +437,21 @@ def run_workload(workload: str, packets_per_node: Optional[int] = None,
         events_per_sec=events / wall if wall > 0 else 0.0,
         scheduler=fabric.sim.scheduler,
         mean_rtt_ns=driver.mean_rtt_ns if driver is not None else None,
+        sanitize=fabric.sim.sanitize,
     )
 
 
 def run_all(packets_per_node: Optional[int] = None,
             workloads: Optional[List[str]] = None,
-            repeats: int = 1, scheduler: str = "auto") -> Dict[str, WorkloadResult]:
+            repeats: int = 1, scheduler: str = "auto",
+            sanitize: bool = False) -> Dict[str, WorkloadResult]:
     """Run the selected workloads, keeping the best of ``repeats`` runs."""
     results: Dict[str, WorkloadResult] = {}
     for workload in workloads or list(WORKLOADS):
         best: Optional[WorkloadResult] = None
         for _ in range(max(1, repeats)):
             result = run_workload(workload, packets_per_node,
-                                  scheduler=scheduler)
+                                  scheduler=scheduler, sanitize=sanitize)
             if best is None or result.events_per_sec > best.events_per_sec:
                 best = result
         results[workload] = best
@@ -529,6 +555,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="print cProfile top-20 cumulative hotspots per "
                              "workload instead of the benchmark table")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run with the runtime sanitizer on (dispatch-"
+                             "order, credit-conservation and packet-lifecycle "
+                             "checks); results are stamped \"sanitize\": true "
+                             "-- see benchmarks/README.md for the overhead")
     args = parser.parse_args(argv)
 
     if args.profile:
@@ -542,7 +573,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     results = run_all(packets_per_node=args.packets_per_node,
                       workloads=args.workload, repeats=args.repeats,
-                      scheduler=args.scheduler)
+                      scheduler=args.scheduler, sanitize=args.sanitize)
     report = make_report(results, baseline=baseline, label=args.label)
     print_table(report)
 

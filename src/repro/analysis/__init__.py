@@ -1,7 +1,13 @@
-"""Analysis helpers: metric math, report formatting, and the hardware
-cost model of Section 7.3.
+"""Analysis helpers: metric math, report formatting, the hardware cost
+model of Section 7.3, and the correctness tooling (simlint static
+analysis and the lockstep scheduler cross-check).
 """
 
+from repro.analysis.lockstep import (
+    CrossCheckResult,
+    Divergence,
+    lockstep_cross_check,
+)
 from repro.analysis.metrics import (
     normalize_to,
     slowdown_versus,
@@ -17,6 +23,9 @@ from repro.analysis.hardware_cost import (
 )
 
 __all__ = [
+    "CrossCheckResult",
+    "Divergence",
+    "lockstep_cross_check",
     "normalize_to",
     "slowdown_versus",
     "speedup_versus",

@@ -1,0 +1,168 @@
+"""simlint: static analysis for the event engine's correctness contracts.
+
+Usage::
+
+    python -m repro.analysis.simlint src/ [--baseline simlint_baseline.json]
+
+The linter walks Python files, applies the SIM001..SIM006 rules (see
+:mod:`repro.analysis.simlint.rules`), drops findings suppressed in-line,
+and compares the rest against a committed baseline so pre-existing debt
+does not block CI while any *new* finding does.
+
+Suppression syntax (on the offending line)::
+
+    self._downlinks = {}  # simlint: disable=SIM006 -- bounded by fleet size
+
+Multiple rules: ``# simlint: disable=SIM001,SIM004``.  The text after
+``--`` is a human-readable justification and is ignored by the parser.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.simlint.rules import Finding, ModuleLinter
+
+BASELINE_VERSION = 1
+
+#: ``# simlint: disable=SIM001,SIM004 -- reason`` anywhere in a line.
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable=([A-Z0-9,\s]+?)(?:\s*--.*)?$")
+
+
+def _suppressed_rules(line: str) -> frozenset:
+    match = _SUPPRESS_RE.search(line)
+    if not match:
+        return frozenset()
+    return frozenset(rule.strip() for rule in match.group(1).split(",")
+                     if rule.strip())
+
+
+def _module_scopes(rel_posix: str) -> Tuple[bool, bool, bool]:
+    """(is_rng_module, hot_path_module, time_value_module) for a path."""
+    parts = rel_posix.split("/")
+    is_rng = rel_posix.endswith("sim/rng.py")
+    hot = "sim" in parts or "fabric" in parts
+    time_scoped = hot or "channels" in parts
+    return is_rng, hot, time_scoped
+
+
+def lint_source(source: str, path: str,
+                rel_posix: Optional[str] = None) -> List[Finding]:
+    """Lint one module's source text; ``path`` is used for reporting."""
+    rel = rel_posix if rel_posix is not None else path
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1, col=1,
+                        rule="SIM000",
+                        message=f"syntax error: {exc.msg}", line_text="")]
+    is_rng, hot, time_scoped = _module_scopes(rel)
+    linter = ModuleLinter(path=path, source=source, tree=tree,
+                          is_rng_module=is_rng, hot_path_module=hot,
+                          time_value_module=time_scoped)
+    findings = linter.run()
+    lines = source.splitlines()
+    kept = []
+    for finding in findings:
+        line = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        if finding.rule in _suppressed_rules(line):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_file(file_path: Path, root: Path) -> List[Finding]:
+    """Lint one file, reporting paths relative to ``root``."""
+    try:
+        rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = file_path.as_posix()
+    source = file_path.read_text(encoding="utf-8")
+    return lint_source(source, path=rel, rel_posix=rel)
+
+
+def lint_paths(paths: Sequence[Path],
+               root: Optional[Path] = None) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    root = root or Path.cwd()
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    findings: List[Finding] = []
+    for file_path in files:
+        findings.extend(lint_file(file_path, root=root))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def _fingerprint_counts(findings: Iterable[Finding]) -> Counter:
+    return Counter(finding.fingerprint for finding in findings)
+
+
+def write_baseline(findings: Sequence[Finding], baseline_path: Path) -> None:
+    """Persist the current findings as the accepted debt."""
+    counts = _fingerprint_counts(findings)
+    entries = [
+        {"path": path, "rule": rule, "line_text": line_text, "count": count}
+        for (path, rule, line_text), count in sorted(counts.items())
+    ]
+    baseline_path.write_text(
+        json.dumps({"version": BASELINE_VERSION, "findings": entries},
+                   indent=2) + "\n",
+        encoding="utf-8")
+
+
+def load_baseline(baseline_path: Path) -> Dict[Tuple[str, str, str], int]:
+    data = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} "
+            f"in {baseline_path}")
+    return {(e["path"], e["rule"], e["line_text"]): e["count"]
+            for e in data["findings"]}
+
+
+def diff_against_baseline(
+        findings: Sequence[Finding],
+        baseline: Dict[Tuple[str, str, str], int],
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new findings, count of fixed baseline entries).
+
+    Per fingerprint, the first ``baseline[fp]`` occurrences are accepted
+    debt; any excess is new.  Baseline entries with fewer live findings
+    than recorded count as fixed (informational -- the baseline can be
+    regenerated to shrink).
+    """
+    counts = _fingerprint_counts(findings)
+    seen: Counter = Counter()
+    new: List[Finding] = []
+    for finding in findings:
+        seen[finding.fingerprint] += 1
+        if seen[finding.fingerprint] > baseline.get(finding.fingerprint, 0):
+            new.append(finding)
+    fixed = sum(max(0, allowed - counts.get(fp, 0))
+                for fp, allowed in baseline.items())
+    return new, fixed
+
+
+__all__ = [
+    "Finding",
+    "ModuleLinter",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "diff_against_baseline",
+]

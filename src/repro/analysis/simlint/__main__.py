@@ -1,0 +1,76 @@
+"""CLI entry point: ``python -m repro.analysis.simlint src/``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.simlint import (
+    diff_against_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+
+DEFAULT_BASELINE = "simlint_baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.simlint",
+        description="Static analysis for the event engine's correctness "
+                    "contracts (determinism, leaks, hot-path hygiene).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file of accepted findings "
+                             f"(default: ./{DEFAULT_BASELINE} when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline; report every finding")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept the current findings as the new "
+                             "baseline and write it")
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        candidate = Path(DEFAULT_BASELINE)
+        if candidate.exists():
+            baseline_path = candidate
+    if args.write_baseline and baseline_path is None:
+        baseline_path = Path(DEFAULT_BASELINE)
+
+    findings = lint_paths([Path(p) for p in args.paths])
+
+    if args.write_baseline:
+        write_baseline(findings, baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    if baseline_path is not None and not args.no_baseline:
+        baseline = load_baseline(baseline_path)
+        new, fixed = diff_against_baseline(findings, baseline)
+        for finding in new:
+            print(finding.render())
+        suffix = f"; {fixed} baselined finding(s) fixed" if fixed else ""
+        if new:
+            print(f"simlint: {len(new)} new finding(s) "
+                  f"({len(findings)} total, "
+                  f"{len(findings) - len(new)} baselined{suffix})")
+            return 1
+        print(f"simlint: clean ({len(findings)} baselined finding(s)"
+              f"{suffix})")
+        return 0
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"simlint: {len(findings)} finding(s)")
+        return 1
+    print("simlint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.fabric.packet import Packet, PacketKind
+from repro.sim.engine import SanitizerError
 
 #: Simulated time driven per scheduling slice while background traffic
 #: keeps the event queue non-empty (see :meth:`EventTransport.drive`).
@@ -216,13 +217,25 @@ class EventTransport:
         self._background = 0
         self.unmatched = 0
         self.ops_completed = 0
-        for switch in fabric.switches.values():
-            switch.attach_local_sink(self._deliver)
+        self._sanitize = bool(getattr(self.sim, "sanitize", False))
+        #: Lifecycle ledger (sanitize mode only): every packet handed to
+        #: :meth:`inject` must eventually reach :meth:`_deliver` or a
+        #: counted drop; :meth:`check_packet_lifecycle` audits the books
+        #: whenever the fabric goes idle.
+        self.packets_injected = 0
+        self.packets_delivered = 0
+        # Sorted attach order: dict order is insertion order, which here
+        # depends on fabric construction history; local-sink attachment
+        # must not be another place ordering can leak in from.
+        for node_id in sorted(fabric.switches):
+            fabric.switches[node_id].attach_local_sink(self._deliver)
 
     # ------------------------------------------------------------------
     # Packet plumbing
     # ------------------------------------------------------------------
     def _deliver(self, packet: Packet) -> None:
+        if self._sanitize:
+            self.packets_delivered += 1
         handler = self._handlers.pop(packet.packet_id, None)
         if handler is not None:
             handler(packet)
@@ -268,7 +281,48 @@ class EventTransport:
 
     def inject(self, packet: Packet) -> None:
         """Hand a packet to its source node's switch."""
+        if self._sanitize:
+            self.packets_injected += 1
         self.fabric.switches[packet.src].inject(packet)
+
+    def check_packet_lifecycle(self) -> None:
+        """Audit packet conservation; only meaningful on an idle fabric.
+
+        Every packet this transport injected must be accounted for:
+        delivered to a local sink, abandoned after exhausting replays
+        (``link_faults``), or dropped at a detached sink.  Anything else
+        means a packet evaporated inside the fabric.  With no background
+        sources registered the expected-handler map must also be empty
+        at idleness -- a survivor is a stale-handler leak.
+        """
+        fabric = self.fabric
+        dropped = 0
+        for key in sorted(fabric.datalinks):
+            counters = fabric.datalinks[key].stats.counters
+            for name in ("link_faults", "packets_dropped_no_sink"):
+                counter = counters.get(name)
+                if counter is not None:
+                    dropped += counter.value
+        for key in sorted(fabric.links):
+            counter = fabric.links[key].stats.counters.get(
+                "packets_dropped_no_sink")
+            if counter is not None:
+                dropped += counter.value
+        for node_id in sorted(fabric.switches):
+            counter = fabric.switches[node_id].stats.counters.get(
+                "packets_dropped_no_sink")
+            if counter is not None:
+                dropped += counter.value
+        if self.packets_injected != self.packets_delivered + dropped:
+            raise SanitizerError(
+                f"packet lifecycle violated: {self.packets_injected} "
+                f"injected != {self.packets_delivered} delivered + "
+                f"{dropped} dropped (a packet was lost or double-"
+                "delivered inside the fabric)")
+        if self._background == 0 and self._handlers:
+            raise SanitizerError(
+                f"{len(self._handlers)} expected-packet handlers "
+                "survived an idle fabric (stale-handler leak)")
 
     def add_background_source(self) -> None:
         self._background += 1
@@ -317,6 +371,8 @@ class EventTransport:
                         "event fabric drained without completing "
                         f"{len(pending)} transport op(s) (packet lost "
                         "or sink detached)")
+                if self._sanitize:
+                    self.check_packet_lifecycle()
             else:
                 sim.run(until=sim.now + self.time_slice_ns)
                 pending = [op for op in pending if not op.done]
@@ -631,9 +687,12 @@ class CrossTrafficDriver:
             return
         self.active = False
         self.transport.remove_background_source()
-        for packet_id, flow in self._pending.items():
+        # Sorted ids: pruning must not depend on dict insertion history
+        # (ids are globally allocated, so insertion order here reflects
+        # every flow's interleaving, not this driver's).
+        for packet_id in sorted(self._pending):
             if self.transport.cancel_expected(packet_id):
-                self._in_flight[flow] -= 1
+                self._in_flight[self._pending[packet_id]] -= 1
         self._pending.clear()
 
     def _launch(self, src: int, dst: int) -> None:

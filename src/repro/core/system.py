@@ -66,7 +66,8 @@ class VeniceSystem:
     def __init__(self, config: VeniceConfig, topology: Topology,
                  nodes: Dict[int, VeniceNode], monitor: MonitorNode,
                  transport_backend: str = "closed_form",
-                 scheduler: str = "auto"):
+                 scheduler: str = "auto",
+                 sanitize: Optional[bool] = None):
         if transport_backend not in ("closed_form", "event"):
             raise ValueError(
                 f"unknown transport backend {transport_backend!r}; "
@@ -77,6 +78,9 @@ class VeniceSystem:
         self.monitor = monitor
         self.transport_backend = transport_backend
         self.scheduler = scheduler
+        #: ``None`` defers to the ``SIM_SANITIZE`` environment variable
+        #: when the system builds its simulators.
+        self.sanitize = sanitize
         self.grants: List[RemoteMemoryGrant] = []
         #: Lazily built shared event executor (event backend only).
         self._event_transport: Optional[EventTransport] = None
@@ -87,7 +91,8 @@ class VeniceSystem:
     @classmethod
     def build(cls, config: Optional[VeniceConfig] = None,
               transport_backend: str = "closed_form",
-              scheduler: str = "auto") -> "VeniceSystem":
+              scheduler: str = "auto",
+              sanitize: Optional[bool] = None) -> "VeniceSystem":
         """Build a system from a configuration (Table 1 defaults)."""
         config = config or VeniceConfig()
         topology = cls._build_topology(config)
@@ -101,7 +106,7 @@ class VeniceSystem:
             monitor.register_agent(node.agent)
         return cls(config=config, topology=topology, nodes=nodes,
                    monitor=monitor, transport_backend=transport_backend,
-                   scheduler=scheduler)
+                   scheduler=scheduler, sanitize=sanitize)
 
     @staticmethod
     def _build_topology(config: VeniceConfig) -> Topology:
@@ -167,7 +172,8 @@ class VeniceSystem:
         """
         if self._event_transport is None:
             fabric = self.build_event_fabric(
-                sim=Simulator(scheduler=self.scheduler))
+                sim=Simulator(scheduler=self.scheduler,
+                              sanitize=self.sanitize))
             self._event_transport = EventTransport(fabric)
         return self._event_transport
 
@@ -274,7 +280,7 @@ class VeniceSystem:
         # Simulator defines __len__, so an idle simulator is falsy --
         # test for None, never truthiness.
         if sim is None:
-            sim = Simulator()
+            sim = Simulator(sanitize=self.sanitize)
         # Router nodes (star hubs, fat-tree leaves/spines) can have more
         # neighbours than the compute nodes' embedded radix-7 switch; give
         # every switch enough ports for its topology degree + local ejection.

@@ -131,8 +131,10 @@ class _FabricRun:
         self._inject_times: Dict[int, int] = {}
         compute = cluster.topology.compute_nodes
         sim = self.fabric.sim
-        for switch in self.fabric.switches.values():
-            switch.attach_local_sink(self._on_delivery)
+        # Sorted attach order: sink attachment must not depend on the
+        # fabric dict's construction history.
+        for node_id in sorted(self.fabric.switches):
+            self.fabric.switches[node_id].attach_local_sink(self._on_delivery)
         probe_kind = (PacketKind.CRMA_READ if config.closed_loop
                       else PacketKind.CRMA_READ_RESP)
         for wave, (src, dst) in enumerate(probes):
@@ -200,11 +202,11 @@ class _FabricRun:
             "sim": {"now": self.fabric.sim.now,
                     "events": self.fabric.sim.events_processed},
             "links": {name.name: name.stats.snapshot()
-                      for name in self.fabric.links.values()},
+                      for name in self.fabric.links.values()},  # simlint: disable=SIM001 -- json.dumps(sort_keys=True) canonicalises
             "datalinks": {dl.name: dl.stats.snapshot()
-                          for dl in self.fabric.datalinks.values()},
+                          for dl in self.fabric.datalinks.values()},  # simlint: disable=SIM001 -- json.dumps(sort_keys=True) canonicalises
             "switches": {sw.name: sw.stats.snapshot()
-                         for sw in self.fabric.switches.values()},
+                         for sw in self.fabric.switches.values()},  # simlint: disable=SIM001 -- json.dumps(sort_keys=True) canonicalises
             "probe_latencies": sorted(self.latencies_ns.values()),
         }
         return json.dumps(dump, sort_keys=True)

@@ -29,7 +29,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import SanitizerError, Simulator
 from repro.sim.resources import CreditPool
 from repro.sim.stats import StatsRegistry
 from repro.fabric.packet import Packet
@@ -65,6 +65,15 @@ class DataLink:
     over the reverse physical link supplied as ``reverse_link`` (or are
     modelled with a fixed latency when operating without one).
     """
+
+    __slots__ = ("sim", "config", "name", "forward_link", "reverse_link",
+                 "stats", "_ctr_sent", "_ctr_received", "_ctr_crc_errors",
+                 "_ctr_overflows", "_ctr_replays", "_ctr_replay_misses",
+                 "_ctr_link_faults", "_ctr_credits_returned", "credits",
+                 "_sink", "_processing_ns", "_call_after", "_rx_queue",
+                 "_rx_busy", "_pending_replay", "_replay_attempts",
+                 "_next_sequence", "_credits_owed", "_credit_batch",
+                 "_send_name", "_sf_pending", "_sanitize")
 
     def __init__(self, sim: Simulator, forward_link: PhysicalLink,
                  config: Optional[DataLinkConfig] = None, name: str = "datalink",
@@ -105,6 +114,7 @@ class DataLink:
         self._send_name = f"{name}.send"
         #: Packets between send_and_forget's credit request and grant.
         self._sf_pending: Deque[Packet] = deque()
+        self._sanitize = bool(getattr(sim, "sanitize", False))
         forward_link.connect(self._on_packet_arrival)
 
     # ------------------------------------------------------------------
@@ -260,6 +270,12 @@ class DataLink:
             return
         attempts = self._replay_attempts.get(packet.sequence, 0) + 1
         self._replay_attempts[packet.sequence] = attempts
+        if self._sanitize and len(self._replay_attempts) > self.config.credits:
+            raise SanitizerError(
+                f"{self.name}: replay-attempt tracking holds "
+                f"{len(self._replay_attempts)} sequences, more than the "
+                f"{self.config.credits}-credit window allows "
+                "(unpruned replay counters)")
         if attempts > self.config.max_replays:
             self._ctr_link_faults.value += 1
             return

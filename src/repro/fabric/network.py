@@ -23,7 +23,7 @@ class RoutingError(RuntimeError):
     """Raised when a packet has no route to its destination."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RoutingEntry:
     """One row of the routing table (Figure 8, right-hand table)."""
 
@@ -41,8 +41,10 @@ class RoutingTable:
     one integer compare instead of a lookup per packet.
     """
 
+    __slots__ = ("_entries", "version")
+
     def __init__(self) -> None:
-        self._entries: Dict[int, RoutingEntry] = {}
+        self._entries: Dict[int, RoutingEntry] = {}  # simlint: disable=SIM006 -- routes are invalidated in place, bounded by fleet size
         self.version = 0
 
     def install(self, node_id: int, out_port: int, flow_id: int = 0) -> None:
@@ -92,6 +94,11 @@ class Switch:
 
     LOCAL_PORT = 0
 
+    __slots__ = ("sim", "node_id", "config", "name", "routing_table",
+                 "stats", "_ctr_switched", "_ctr_ejected", "_ctr_unroutable",
+                 "_output_links", "_port_counters", "_resolved",
+                 "_resolved_version", "_fwd_ns", "_call_after", "_local_sink")
+
     def __init__(self, sim: Simulator, node_id: int,
                  config: Optional[SwitchConfig] = None, name: str = ""):
         self.sim = sim
@@ -103,9 +110,9 @@ class Switch:
         (self._ctr_switched, self._ctr_ejected,
          self._ctr_unroutable) = self.stats.bind_counters(
             "packets_switched", "packets_ejected", "packets_unroutable")
-        self._output_links: Dict[int, DataLink] = {}
+        self._output_links: Dict[int, DataLink] = {}  # simlint: disable=SIM006 -- bounded by switch radix, ports are never detached
         #: Per-port forwarded counters, bound when the port is attached.
-        self._port_counters: Dict[int, object] = {}
+        self._port_counters: Dict[int, object] = {}  # simlint: disable=SIM006 -- bounded by switch radix, ports are never detached
         #: Resolved destination -> (datalink, port counter), validated
         #: against the routing-table version; one dict hit per packet
         #: replaces the lookup + port + counter triple on the hot path.

@@ -90,6 +90,11 @@ class PhysicalLink:
     so the datalink layer's CRC check can catch it.
     """
 
+    __slots__ = ("sim", "config", "name", "rng", "stats", "_ctr_offered",
+                 "_ctr_busy_ns", "_ctr_sent", "_ctr_bytes", "_ctr_corrupted",
+                 "_send_name", "_tx_queue", "_tx_waiters", "_tx_busy",
+                 "_sink", "_call_after")
+
     def __init__(self, sim: Simulator, config: LinkConfig, name: str = "link",
                  rng: Optional[DeterministicRNG] = None):
         if config.queue_capacity <= 0:

@@ -49,6 +49,10 @@ class ExternalRouter:
     forwarding latency -- the behaviour Figure 6 quantifies.
     """
 
+    __slots__ = ("sim", "config", "name", "stats", "_ctr_received",
+                 "_ctr_dropped", "_ctr_unroutable", "_ctr_forwarded",
+                 "_ingress", "_fwd_busy", "_fwd_ns", "_downlinks")
+
     def __init__(self, sim: Simulator, config: Optional[RouterConfig] = None,
                  name: str = "router"):
         self.sim = sim
@@ -62,7 +66,7 @@ class ExternalRouter:
         self._ingress: Deque[Packet] = deque()
         self._fwd_busy = False
         self._fwd_ns = self.config.forwarding_latency_ns
-        self._downlinks: Dict[int, PhysicalLink] = {}
+        self._downlinks: Dict[int, PhysicalLink] = {}  # simlint: disable=SIM006 -- bounded by fleet size, nodes never detach
 
     def attach_node(self, node_id: int, sink) -> PhysicalLink:
         """Attach a node; returns the router-to-node link feeding ``sink``."""

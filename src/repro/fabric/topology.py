@@ -18,7 +18,7 @@ import networkx as nx
 
 
 @dataclass
-class Topology:
+class Topology:  # simlint: disable=SIM004 -- built once per experiment, never touched on the per-packet path
     """A named interconnection topology over integer node identifiers."""
 
     name: str

@@ -76,7 +76,7 @@ class MonitorNode:
         self.rrt = ResourceRegistrationTable()
         self.rat = ResourceAllocationTable()
         self.tst = TopologyStatusTable()
-        self._agents: Dict[int, NodeAgent] = {}
+        self._agents: Dict[int, NodeAgent] = {}  # simlint: disable=SIM006 -- bounded by fleet size, agents never deregister
         self.now_ns = 0
         self.requests_handled = 0
         self.handshake_retries = 0
@@ -117,14 +117,23 @@ class MonitorNode:
                 available=min(available, capacity),
                 last_heartbeat_ns=report.timestamp_ns,
             ))
-        for neighbor, status in report.link_status.items():
-            self.tst.report(report.node_id, neighbor, status,
+        # Sorted neighbours: TST rows must be folded in an order that
+        # does not depend on how the agent's link_status dict was built.
+        for neighbor in sorted(report.link_status):
+            self.tst.report(report.node_id, neighbor,
+                            report.link_status[neighbor],
                             now_ns=report.timestamp_ns)
 
     def collect_heartbeats(self) -> None:
-        """Poll every registered agent (one heartbeat round)."""
-        for agent in self._agents.values():
-            self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+        """Poll every registered agent (one heartbeat round).
+
+        Polling in sorted node order makes the broadcast order -- and
+        therefore every downstream tie-break fed by heartbeat ingestion
+        -- deterministic by construction instead of by dict insertion
+        history.
+        """
+        for node_id in sorted(self._agents):
+            self.ingest_heartbeat(self._agents[node_id].heartbeat(self.now_ns))
 
     def dead_nodes(self) -> List[int]:
         """Nodes whose heartbeats have stopped arriving."""

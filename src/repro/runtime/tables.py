@@ -47,7 +47,7 @@ class ResourceRegistrationTable:
     """RRT: available resources in the rack, keyed by (node, kind)."""
 
     def __init__(self) -> None:
-        self._records: Dict[Tuple[int, ResourceKind], ResourceRecord] = {}
+        self._records: Dict[Tuple[int, ResourceKind], ResourceRecord] = {}  # simlint: disable=SIM006 -- bounded by nodes x resource kinds
 
     def register(self, record: ResourceRecord) -> None:
         """Insert or refresh the record for (node, kind)."""
@@ -57,8 +57,12 @@ class ResourceRegistrationTable:
         return self._records.get((node_id, kind))
 
     def records_of_kind(self, kind: ResourceKind) -> List[ResourceRecord]:
-        return [record for (_, record_kind), record in self._records.items()
-                if record_kind == kind]
+        # Sorted by node id: this list seeds the donor-candidate order,
+        # so ties in the selection policy must not be broken by the
+        # registration history baked into dict insertion order.
+        return [self._records[key] for key in
+                sorted(self._records, key=lambda k: (k[0], k[1].value))
+                if key[1] == kind]
 
     def total_available(self, kind: ResourceKind) -> int:
         return sum(record.available for record in self.records_of_kind(kind))
@@ -69,7 +73,7 @@ class ResourceRegistrationTable:
     def stale_nodes(self, now_ns: int, timeout_ns: int) -> List[int]:
         """Nodes whose newest heartbeat is older than ``timeout_ns``."""
         newest: Dict[int, int] = {}
-        for (node_id, _), record in self._records.items():
+        for (node_id, _), record in self._records.items():  # simlint: disable=SIM001 -- max() fold is order-insensitive
             newest[node_id] = max(newest.get(node_id, 0), record.last_heartbeat_ns)
         return sorted(node for node, beat in newest.items()
                       if now_ns - beat > timeout_ns)
@@ -138,8 +142,8 @@ class TopologyStatusTable:
     """TST: per-link status, keyed by the unordered node pair."""
 
     def __init__(self) -> None:
-        self._status: Dict[Tuple[int, int], LinkStatus] = {}
-        self._reported_at: Dict[Tuple[int, int], int] = {}
+        self._status: Dict[Tuple[int, int], LinkStatus] = {}  # simlint: disable=SIM006 -- bounded by the topology's link count
+        self._reported_at: Dict[Tuple[int, int], int] = {}  # simlint: disable=SIM006 -- bounded by the topology's link count
 
     @staticmethod
     def _key(node_a: int, node_b: int) -> Tuple[int, int]:

@@ -54,10 +54,11 @@ same-timestamp callbacks without re-checking the deadline between them.
 
 from __future__ import annotations
 
+import os
 from bisect import insort
 from collections import deque
 from heapq import heapify, heappop, heappush
-from typing import Any, Callable, Deque, List, Optional
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 #: Queue-entry field indices.  Entries are ``[time, seq, callback, args,
 #: single]``: ``single`` is True when ``args`` is one bare positional
@@ -83,6 +84,18 @@ class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an invalid state."""
 
 
+class SanitizerError(SimulationError):
+    """Raised when a runtime sanitizer invariant check fails.
+
+    Sanitizer checks (enabled with ``Simulator(sanitize=True)`` or the
+    ``SIM_SANITIZE=1`` environment variable) guard invariants that the
+    normal dispatch loops assume rather than verify: a monotonic clock,
+    total (time, seq) dispatch order, credit conservation and bounded
+    in-flight tracking maps.  A :class:`SanitizerError` therefore always
+    indicates an engine or component bug, never a modelling error.
+    """
+
+
 class Simulator:
     """Event loop with an integer nanosecond clock.
 
@@ -101,10 +114,27 @@ class Simulator:
     calendar_buckets:
         Number of buckets (one rotation covers ``bucket_ns * buckets``
         nanoseconds), power of two.
+    sanitize:
+        Enable the runtime sanitizer: every dispatched event is checked
+        against the monotonic-clock and total (time, seq) order
+        invariants, and sanitizer-aware components (credit pools,
+        datalinks, the event transport) install their own invariant
+        checks.  ``None`` (default) reads the ``SIM_SANITIZE``
+        environment variable (``"0"``/empty/unset means off).  When off,
+        the fused dispatch loops run unchanged -- the sanitizer costs
+        nothing when disabled.
     """
 
+    __slots__ = ("_now", "_seq", "_queue", "_ready", "_running",
+                 "_event_count", "_cancelled", "_policy", "_cal_bucket_ns",
+                 "_cal_shift", "_cal_mask", "_cal_active", "_cal_buckets",
+                 "_cal_count", "_cal_day", "_cur", "_cur_idx",
+                 "_auto_checked_pending", "_sanitize", "_san_last_time",
+                 "_san_last_seq", "_san_trace")
+
     def __init__(self, scheduler: str = "auto", calendar_bucket_ns: int = 128,
-                 calendar_buckets: int = 8192) -> None:
+                 calendar_buckets: int = 8192,
+                 sanitize: Optional[bool] = None) -> None:
         if scheduler not in ("auto", "heap", "calendar"):
             raise ValueError(f"unknown scheduler {scheduler!r} "
                              "(expected 'heap', 'calendar' or 'auto')")
@@ -112,6 +142,12 @@ class Simulator:
             raise ValueError("calendar_bucket_ns must be a positive power of two")
         if calendar_buckets <= 0 or calendar_buckets & (calendar_buckets - 1):
             raise ValueError("calendar_buckets must be a positive power of two")
+        if sanitize is None:
+            sanitize = os.environ.get("SIM_SANITIZE", "0") not in ("", "0")
+        self._sanitize = bool(sanitize)
+        self._san_last_time = -1
+        self._san_last_seq = -1
+        self._san_trace: Optional[List[Tuple[int, int, str]]] = None
         self._now: int = 0
         self._seq: int = 0
         self._queue: List[list] = []
@@ -159,6 +195,47 @@ class Simulator:
     def scheduler_policy(self) -> str:
         """The backend selection policy this simulator was built with."""
         return self._policy
+
+    @property
+    def sanitize(self) -> bool:
+        """Whether the runtime sanitizer is active on this simulator."""
+        return self._sanitize
+
+    def enable_dispatch_trace(self) -> List[Tuple[int, int, str]]:
+        """Record every dispatch as ``(time, seq, callback qualname)``.
+
+        Only available while sanitizing (the trace hook lives in the
+        sanitized dispatch path).  Returns the live trace list; the
+        lockstep heap-versus-calendar cross-check diffs two of these to
+        find the first divergence.
+        """
+        if not self._sanitize:
+            raise SimulationError(
+                "dispatch tracing requires Simulator(sanitize=True)")
+        if self._san_trace is None:
+            self._san_trace = []
+        return self._san_trace
+
+    def _san_check(self, entry: list, callback: Callable[..., None]) -> None:
+        """Sanitizer: dispatch-order invariants, checked per event."""
+        time = entry[_TIME]
+        seq = entry[_SEQ]
+        if time < self._now:
+            raise SanitizerError(
+                f"backwards clock: dispatching entry at t={time} "
+                f"(seq={seq}) behind the current time t={self._now}")
+        if time < self._san_last_time or (
+                time == self._san_last_time and seq <= self._san_last_seq):
+            raise SanitizerError(
+                "dispatch order violation: entry "
+                f"(t={time}, seq={seq}) dispatched after "
+                f"(t={self._san_last_time}, seq={self._san_last_seq})")
+        self._san_last_time = time
+        self._san_last_seq = seq
+        if self._san_trace is not None:
+            self._san_trace.append(
+                (time, seq, getattr(callback, "__qualname__",
+                                    type(callback).__name__)))
 
     def __len__(self) -> int:
         """Pending queue entries, including not-yet-purged cancellations."""
@@ -500,6 +577,8 @@ class Simulator:
             if callback is None:
                 self._cancelled -= 1
                 continue
+            if self._sanitize:
+                self._san_check(entry, callback)
             # Mark the entry spent so a late cancel() is a no-op.
             entry[_CALLBACK] = None
             self._now = entry[_TIME]
@@ -537,11 +616,41 @@ class Simulator:
             self._maybe_adopt_calendar()
         self._running = True
         try:
+            if self._sanitize:
+                # Sanitized runs dispatch through peek()/step() so every
+                # event passes the invariant checks; the fused loops
+                # below stay untouched (and unchecked) for the zero-cost
+                # disabled case.
+                return self._run_sanitized(until, max_events)
             if self._cal_active:
                 return self._run_calendar(until, max_events)
             return self._run_heap(until, max_events)
         finally:
             self._running = False
+
+    def _run_sanitized(self, until: Optional[int],
+                       max_events: Optional[int]) -> int:
+        """Checked dispatch loop: same semantics as the fused loops.
+
+        One ``peek()`` + ``step()`` pair per event instead of the fused
+        single-pass dispatch -- slower (the sanitizer's documented
+        overhead) but byte-identical in dispatch order, which the
+        per-event ``_san_check`` asserts.
+        """
+        budget = -1 if max_events is None else max_events
+        executed = 0
+        while True:
+            time = self.peek()
+            if time is None or (until is not None and time > until):
+                break
+            if executed == budget:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; possible livelock")
+            self.step()
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
 
     def _run_heap(self, until: Optional[int], max_events: Optional[int]) -> int:
         queue = self._queue

@@ -16,12 +16,15 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import SanitizerError, SimulationError, Simulator
 from repro.sim.process import SimEvent
 
 
 class Store:
     """Bounded FIFO of items with blocking put/get semantics."""
+
+    __slots__ = ("sim", "name", "capacity", "_items", "_getters", "_putters",
+                 "_put_name", "_get_name")
 
     def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "store"):
         if capacity is not None and capacity <= 0:
@@ -103,6 +106,9 @@ class Store:
 class Resource:
     """Counting resource (capacity N) with FIFO acquisition order."""
 
+    __slots__ = ("sim", "name", "capacity", "_in_use", "_waiters",
+                 "_acquire_name")
+
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -148,7 +154,18 @@ class CreditPool:
 
     Senders ``take(n)`` credits (blocking until available) before
     transmitting; receivers ``replenish(n)`` when buffers drain.
+
+    When the owning simulator sanitizes, every pool operation entry
+    point re-checks the conservation invariant
+    (:meth:`check_conservation`), so a buggy replenish path that
+    silently destroys or mints credits is caught at the next pool
+    operation even if the buggy code itself performs no checks.
     """
+
+    __slots__ = ("sim", "name", "maximum", "_take_name", "_credits",
+                 "_waiters", "_pending_replenish", "total_taken",
+                 "total_replenished", "stall_count", "flush_count",
+                 "_initial", "_clamped", "_sanitize")
 
     def __init__(self, sim: Simulator, initial: int, maximum: Optional[int] = None,
                  name: str = "credits"):
@@ -169,6 +186,12 @@ class CreditPool:
         self.total_replenished = 0
         self.stall_count = 0
         self.flush_count = 0
+        self._initial = initial
+        #: Credits legitimately discarded by the post-grant clamp; part
+        #: of the conservation ledger so clamped returns are
+        #: distinguishable from silently destroyed credits.
+        self._clamped = 0
+        self._sanitize = bool(getattr(sim, "sanitize", False))
 
     @property
     def available(self) -> int:
@@ -182,6 +205,8 @@ class CreditPool:
             raise SimulationError(
                 f"requesting {amount} credits exceeds pool maximum {self.maximum}"
             )
+        if self._sanitize:
+            self.check_conservation()
         event = SimEvent(self.sim, name=self._take_name)
         if not self._waiters and self._credits >= amount:
             self._credits -= amount
@@ -195,6 +220,8 @@ class CreditPool:
 
     def try_take(self, amount: int = 1) -> bool:
         """Non-blocking take; returns ``False`` if short on credits."""
+        if self._sanitize:
+            self.check_conservation()
         if self._waiters or self._credits < amount:
             return False
         self._credits -= amount
@@ -218,7 +245,16 @@ class CreditPool:
             self.total_taken += want
             event.succeed(None)
         if self._credits > self.maximum:
+            if self._sanitize and self._waiters:
+                raise SanitizerError(
+                    f"credit pool {self.name!r}: clamping "
+                    f"{self._credits - self.maximum} credits while "
+                    f"{len(self._waiters)} taker(s) are still blocked "
+                    "(waiters must be granted before the clamp)")
+            self._clamped += self._credits - self.maximum
             self._credits = self.maximum
+        if self._sanitize:
+            self.check_conservation()
 
     def schedule_replenish(self, amount: int = 1, delay: int = 0) -> None:
         """Return ``amount`` credits ``delay`` ns from now, coalesced.
@@ -250,10 +286,36 @@ class CreditPool:
         self.sim.call_after(delay, self._flush_replenish)
 
     def _flush_replenish(self, _value=None) -> None:
+        if self._sanitize:
+            self.check_conservation()
         amount = self._pending_replenish
         self._pending_replenish = 0
         self.flush_count += 1
         self.replenish(amount)
+
+    def check_conservation(self) -> None:
+        """Assert the credit-conservation invariant of this pool.
+
+        ``initial + replenished - taken - clamped`` must equal the
+        credits currently available, which must lie in
+        ``[0, maximum]``.  A mismatch means some code path destroyed or
+        minted credits without going through the ledger -- the shape of
+        the historical replenish bug that clamped to ``maximum`` before
+        granting blocked waiters.
+        """
+        expected = (self._initial + self.total_replenished
+                    - self.total_taken - self._clamped)
+        if expected != self._credits:
+            raise SanitizerError(
+                f"credit pool {self.name!r} conservation violated: "
+                f"initial={self._initial} + "
+                f"replenished={self.total_replenished} - "
+                f"taken={self.total_taken} - clamped={self._clamped} "
+                f"= {expected}, but {self._credits} credits are available")
+        if not 0 <= self._credits <= self.maximum:
+            raise SanitizerError(
+                f"credit pool {self.name!r} holds {self._credits} credits, "
+                f"outside [0, {self.maximum}]")
 
     @property
     def pending_replenish(self) -> int:

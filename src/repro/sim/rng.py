@@ -16,6 +16,8 @@ T = TypeVar("T")
 class DeterministicRNG:
     """Thin wrapper over :class:`random.Random` with domain helpers."""
 
+    __slots__ = ("seed", "_random")
+
     def __init__(self, seed: int = 0):
         self.seed = seed
         self._random = random.Random(seed)

@@ -35,6 +35,9 @@ class Counter:
 class Gauge:
     """Time-weighted gauge (e.g. queue occupancy, credits in flight)."""
 
+    __slots__ = ("name", "_value", "_last_time", "_weighted_sum", "_max",
+                 "_min")
+
     def __init__(self, name: str = "gauge", initial: float = 0.0):
         self.name = name
         self._value = initial
@@ -76,6 +79,8 @@ class Gauge:
 
 class Histogram:
     """Sample accumulator with summary statistics (for latencies)."""
+
+    __slots__ = ("name", "_samples")
 
     def __init__(self, name: str = "histogram"):
         self.name = name
@@ -133,11 +138,15 @@ class StatsRegistry:
     registry so experiments can discover and report them uniformly.
     """
 
+    __slots__ = ("name", "counters", "gauges", "histograms")
+
     def __init__(self, name: str = "stats"):
         self.name = name
-        self.counters: Dict[str, Counter] = {}
-        self.gauges: Dict[str, Gauge] = {}
-        self.histograms: Dict[str, Histogram] = {}
+        # Instruments live for the whole run by design: experiments read
+        # them after the simulation quiesces.
+        self.counters: Dict[str, Counter] = {}  # simlint: disable=SIM006 -- instruments are read post-run, never retired
+        self.gauges: Dict[str, Gauge] = {}  # simlint: disable=SIM006 -- instruments are read post-run, never retired
+        self.histograms: Dict[str, Histogram] = {}  # simlint: disable=SIM006 -- instruments are read post-run, never retired
 
     def counter(self, name: str) -> Counter:
         try:

@@ -1,5 +1,7 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
 
 from repro.core.config import VeniceConfig
@@ -9,8 +11,13 @@ from repro.sim.engine import Simulator
 
 @pytest.fixture
 def sim() -> Simulator:
-    """A fresh simulator instance."""
-    return Simulator()
+    """A fresh simulator instance.
+
+    ``SIM_SCHEDULER`` pins the timer backend (the CI sanitize job runs
+    the suite once per backend); unset, the default ``auto`` policy
+    applies.  ``SIM_SANITIZE`` is read by the Simulator itself.
+    """
+    return Simulator(scheduler=os.environ.get("SIM_SCHEDULER", "auto"))
 
 
 @pytest.fixture
