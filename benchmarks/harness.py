@@ -69,6 +69,8 @@ WORKLOADS: Dict[str, dict] = {
                         ops=3000),
     "concurrent_ops": dict(num_nodes=8, topology="star", mode="concurrent",
                            ops=3000, requesters=6),
+    "churn": dict(num_nodes=8, topology="fat_tree", mode="churn",
+                  ops=2000),
 }
 
 #: Gap between injection rounds, ns (lets queues partially drain so the
@@ -345,6 +347,89 @@ class ConcurrentOpsDriver:
         return self.latency_total_ns / self.completed if self.completed else 0.0
 
 
+class ChurnOpsDriver:
+    """Deadline-guarded reads under a seeded fault campaign.
+
+    The recovery counterpart of :class:`ConcurrentOpsDriver`: every
+    compute node of an event-backed fat-tree cluster borrows remote
+    memory through the batched matchmaker, then issues waves of CRMA
+    reads carrying per-op deadlines and an exponential-backoff retry
+    policy while a :class:`~repro.runtime.churn.ChurnEngine` flaps
+    links, fails a router and crashes a node against the same fabric
+    (heartbeat detection and recovery run on the simulated clock).
+    This is the hot path of the ``churn`` experiment: admin-down
+    corruption feeding the datalink replay machinery, timeout firing
+    and handler cancellation, retry resubmission, and the heartbeat
+    pump.  Budget-based and fully seeded, so the simulated work is
+    byte-identical across engine versions; only the wall clock changes.
+    """
+
+    #: Simulated idle gap between read waves, ns (moves the clock
+    #: across the campaign so faults land between waves too).
+    WAVE_GAP_NS = 15_000
+    READ_DEADLINE_NS = 200_000
+
+    def __init__(self, ops: int, scheduler: str = "auto",
+                 sanitize: Optional[bool] = None, seed: int = 2016):
+        from repro.cluster import Cluster, ClusterConfig
+        from repro.core.channels.backend import RetryPolicy
+        from repro.runtime.churn import ChurnConfig, ChurnEngine
+        from repro.runtime.fault import FaultHandler
+
+        self.ops = ops
+        self.cluster = Cluster(ClusterConfig(
+            num_nodes=8, topology="fat_tree", transport_backend="event",
+            scheduler=scheduler, sanitize=sanitize))
+        self.shares = [share for batch in self.cluster.matchmaker.borrow_many(
+            [(node, 1 << 20) for node in self.cluster.node_ids])
+            for share in batch]
+        self.transport = self.cluster.event_transport()
+        self.sim = self.transport.sim
+        self.retry = RetryPolicy(max_attempts=3, backoff_ns=50_000)
+        self.engine = ChurnEngine(
+            self.transport, self.cluster.monitor,
+            FaultHandler(self.cluster.monitor),
+            ChurnConfig(seed=seed, horizon_ns=4_000_000, link_flaps=2,
+                        router_failures=1, node_crashes=1,
+                        flap_duration_ns=400_000, router_down_ns=500_000,
+                        crash_down_ns=1_200_000))
+        self.completed = 0
+        self.gave_up = 0
+        self.latency_total_ns = 0
+
+    def run(self) -> None:
+        transport = self.transport
+        sim = self.sim
+        self.engine.start()
+        index = 0
+        while index < self.ops:
+            batch = []
+            for share in self.shares:
+                if index >= self.ops:
+                    break
+                batch.append(transport.submit_with_retry(
+                    lambda share=share: share.channel.submit_read(
+                        PAYLOAD_BYTES, deadline_ns=self.READ_DEADLINE_NS),
+                    self.retry, label=f"churn-n{share.requester}"))
+                index += 1
+            transport.drive_all(batch)
+            for op in batch:
+                if op.done:
+                    self.completed += 1
+                    self.latency_total_ns += op.latency_ns
+                else:
+                    self.gave_up += 1
+            sim.run(until=sim.now + self.WAVE_GAP_NS)
+        self.engine.stop()
+        sim.run_until_idle()
+        if sim.sanitize:
+            transport.check_packet_lifecycle()
+
+    @property
+    def mean_rtt_ns(self) -> float:
+        return self.latency_total_ns / self.completed if self.completed else 0.0
+
+
 def run_workload(workload: str, packets_per_node: Optional[int] = None,
                  seed: int = 2016, scheduler: str = "auto",
                  sanitize: bool = False) -> WorkloadResult:
@@ -360,6 +445,26 @@ def run_workload(workload: str, packets_per_node: Optional[int] = None,
     # bench run is honestly stamped in its results.
     san = True if sanitize else None
     driver = None
+    if spec["mode"] == "churn":
+        churn_driver = ChurnOpsDriver(ops=packets_per_node or spec["ops"],
+                                      scheduler=scheduler, sanitize=san,
+                                      seed=seed)
+        start = time.perf_counter()
+        churn_driver.run()
+        wall = time.perf_counter() - start
+        sim = churn_driver.sim
+        return WorkloadResult(
+            workload=workload,
+            packets=churn_driver.ops,
+            delivered=churn_driver.completed,
+            events=sim.events_processed,
+            sim_ns=sim.now,
+            wall_s=wall,
+            events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
+            scheduler=sim.scheduler,
+            mean_rtt_ns=churn_driver.mean_rtt_ns,
+            sanitize=sim.sanitize,
+        )
     if spec["mode"] == "concurrent":
         system = VeniceSystem.build(
             VeniceConfig(num_nodes=spec["num_nodes"],

@@ -70,6 +70,9 @@ class ClusterConfig:
     transport_backend: str = "closed_form"
     #: Timer backend for the shared simulator (event backend only).
     scheduler: str = "auto"
+    #: Runtime sanitizer for the shared simulator (event backend only):
+    #: True/False force it, None defers to ``SIM_SANITIZE``.
+    sanitize: Optional[bool] = None
 
     def venice(self) -> VeniceConfig:
         """The equivalent whole-system configuration."""
@@ -92,7 +95,8 @@ class Cluster:
         self.system = VeniceSystem.build(
             self.venice,
             transport_backend=self.config.transport_backend,
-            scheduler=self.config.scheduler)
+            scheduler=self.config.scheduler,
+            sanitize=self.config.sanitize)
         self.system.monitor.policy = make_policy(self.config.policy)
         #: Shared by every path of this cluster; pass one cache to
         #: several clusters to share latencies across a sweep.  (An

@@ -27,6 +27,7 @@ or from execution, and contention-sensitive experiments pick per run.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.fabric.packet import Packet, PacketKind
@@ -42,6 +43,45 @@ _TIME_SLICE_NS = 5_000
 
 class TransportError(RuntimeError):
     """Raised when an event-backend operation cannot complete."""
+
+
+class OpTimeoutError(TransportError):
+    """A transport op missed its per-op deadline.
+
+    Raised by :attr:`PendingOp.latency_ns` (and ``drive_until``) after
+    the deadline timer fired: the op's expect handlers were cancelled,
+    its packets written off as ``timed_out``, and the handle resolved
+    as failed.  Typed separately from :class:`TransportError` so churn
+    experiments can distinguish a deadline miss (retryable) from a
+    structural failure (lost packet on a drained fabric).
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff resubmit policy for timed-out ops.
+
+    Attempt ``k`` (1-based) that times out is relaunched after
+    ``backoff_ns * multiplier**(k-1)`` of simulated time, up to
+    ``max_attempts`` total submissions; the outer op then fails with
+    the last attempt's :class:`OpTimeoutError`.
+    """
+
+    max_attempts: int = 3
+    backoff_ns: int = 50_000
+    multiplier: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("a retry policy needs at least one attempt")
+        if self.backoff_ns < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError("backoff multiplier must be at least 1")
+
+    def backoff_for(self, attempt: int) -> int:
+        """Backoff before relaunching after failed attempt ``attempt``."""
+        return self.backoff_ns * self.multiplier ** (attempt - 1)
 
 
 class TransportBackend:
@@ -152,24 +192,52 @@ class PendingOp:
     blocking channel APIs return.
     """
 
-    __slots__ = ("done", "result_ns", "overhead_ns", "label")
+    __slots__ = ("done", "failed", "error", "result_ns", "overhead_ns",
+                 "label", "attempts", "deadline_ns", "_expected",
+                 "_timeout_handle", "_on_resolved")
 
     def __init__(self, label: str = ""):
         self.done = False
+        #: True once the op failed (deadline miss); ``error`` then holds
+        #: the typed exception ``latency_ns`` / ``drive_until`` raise.
+        self.failed = False
+        self.error: Optional[TransportError] = None
         self.result_ns = 0
         #: Constant (non-transport) cost the owning channel adds on top
         #: of the measured transport time, e.g. request/response
         #: processing; filled in by the channel-level submit wrappers.
         self.overhead_ns = 0
         self.label = label
+        #: Submissions consumed (retry wrappers count their relaunches).
+        self.attempts = 1
+        #: Per-op deadline in ns of simulated time from submission, or
+        #: ``None`` for the pre-churn wait-forever behaviour.
+        self.deadline_ns: Optional[int] = None
+        #: Packet ids whose expect handlers belong to this op; the
+        #: timeout path cancels exactly these.
+        self._expected: List[int] = []
+        self._timeout_handle: Optional[list] = None
+        #: Resolution hook (retry wrappers); fired once on complete/fail.
+        self._on_resolved: Optional[Callable[["PendingOp"], None]] = None
+
+    @property
+    def resolved(self) -> bool:
+        """True once the op completed or failed; drivers stop waiting."""
+        return self.done or self.failed
 
     def complete(self, result_ns: int) -> None:
         self.done = True
         self.result_ns = result_ns
 
+    def fail(self, error: TransportError) -> None:
+        self.failed = True
+        self.error = error
+
     @property
     def latency_ns(self) -> int:
         """Full op latency (transport measurement + channel overheads)."""
+        if self.failed:
+            raise self.error
         if not self.done:
             raise TransportError(
                 f"transport op {self.label or '<unnamed>'} has not "
@@ -177,7 +245,12 @@ class PendingOp:
         return self.result_ns + self.overhead_ns
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        state = f"done, {self.result_ns} ns" if self.done else "in flight"
+        if self.done:
+            state = f"done, {self.result_ns} ns"
+        elif self.failed:
+            state = f"failed, {self.error}"
+        else:
+            state = "in flight"
         return f"PendingOp({self.label!r}, {state})"
 
 
@@ -217,6 +290,13 @@ class EventTransport:
         self._background = 0
         self.unmatched = 0
         self.ops_completed = 0
+        #: Ops that missed their per-op deadline (typed OpTimeoutError).
+        self.ops_timed_out = 0
+        #: Expect handlers cancelled by deadline timers.  These packets
+        #: are written off: still in flight (late deliveries land in
+        #: ``unmatched``) or already lost to a counted drop, either way
+        #: no longer awaited -- the ``timed_out`` lifecycle category.
+        self.packets_timed_out = 0
         self._sanitize = bool(getattr(self.sim, "sanitize", False))
         #: Lifecycle ledger (sanitize mode only): every packet handed to
         #: :meth:`inject` must eventually reach :meth:`_deliver` or a
@@ -290,10 +370,13 @@ class EventTransport:
 
         Every packet this transport injected must be accounted for:
         delivered to a local sink, abandoned after exhausting replays
-        (``link_faults``), or dropped at a detached sink.  Anything else
-        means a packet evaporated inside the fabric.  With no background
-        sources registered the expected-handler map must also be empty
-        at idleness -- a survivor is a stale-handler leak.
+        (``link_faults``), dropped by an admin-down switch (the
+        ``timed_out`` / churn category), or dropped at a detached sink.
+        Anything else means a packet evaporated inside the fabric.  With
+        no background sources registered the expected-handler map must
+        also be empty at idleness -- a survivor is a stale-handler leak
+        (deadline timers cancel their op's handlers, so timed-out ops
+        leave none behind).
         """
         fabric = self.fabric
         dropped = 0
@@ -309,10 +392,12 @@ class EventTransport:
             if counter is not None:
                 dropped += counter.value
         for node_id in sorted(fabric.switches):
-            counter = fabric.switches[node_id].stats.counters.get(
-                "packets_dropped_no_sink")
-            if counter is not None:
-                dropped += counter.value
+            counters = fabric.switches[node_id].stats.counters
+            for name in ("packets_dropped_no_sink",
+                         "packets_dropped_admin_down"):
+                counter = counters.get(name)
+                if counter is not None:
+                    dropped += counter.value
         if self.packets_injected != self.packets_delivered + dropped:
             raise SanitizerError(
                 f"packet lifecycle violated: {self.packets_injected} "
@@ -361,11 +446,15 @@ class EventTransport:
         its packet was lost.
         """
         sim = self.sim
-        pending = [op for op in ops if not op.done]
+        pending = [op for op in ops if not op.resolved]
         while pending:
             if self._background == 0:
+                # Deadline timers live in the event queue, so a lossy
+                # fabric (downed links, failed routers) still resolves
+                # every op: run_until_idle advances to the deadline and
+                # the timeout fails the op instead of hanging here.
                 sim.run_until_idle()
-                pending = [op for op in pending if not op.done]
+                pending = [op for op in pending if not op.resolved]
                 if pending:
                     raise TransportError(
                         "event fabric drained without completing "
@@ -375,7 +464,7 @@ class EventTransport:
                     self.check_packet_lifecycle()
             else:
                 sim.run(until=sim.now + self.time_slice_ns)
-                pending = [op for op in pending if not op.done]
+                pending = [op for op in pending if not op.resolved]
                 if pending and len(sim) == 0:
                     raise TransportError(
                         "event fabric drained without completing "
@@ -385,35 +474,130 @@ class EventTransport:
         return [op.result_ns for op in ops]
 
     def drive_until(self, op: PendingOp) -> int:
-        """Advance the shared simulator until ``op`` (alone) completes."""
+        """Advance the shared simulator until ``op`` (alone) resolves.
+
+        Raises the op's typed error (:class:`OpTimeoutError` for a
+        deadline miss) when it resolved as failed.
+        """
         self.drive_all((op,))
+        if op.failed:
+            raise op.error
         return op.result_ns
 
     #: Backwards-compatible alias for the pre-split single-op driver.
     drive = drive_until
 
+    def _resolve(self, op: PendingOp) -> None:
+        callback, op._on_resolved = op._on_resolved, None
+        if callback is not None:
+            callback(op)
+
     def _finish(self, op: PendingOp, result_ns: int) -> None:
+        if op.failed:
+            # A straggler completion path (scheduled server turnaround,
+            # stream service) outlived the deadline; the op already
+            # failed and its result must not be rewritten.
+            return
+        if op._timeout_handle is not None:
+            self.sim.cancel(op._timeout_handle)
+            op._timeout_handle = None
+        op._expected.clear()
         op.complete(result_ns)
         self.ops_completed += 1
+        self._resolve(op)
+
+    # ------------------------------------------------------------------
+    # Per-op deadlines
+    # ------------------------------------------------------------------
+    def _arm_deadline(self, op: PendingOp,
+                      deadline_ns: Optional[int]) -> None:
+        if deadline_ns is None:
+            return
+        if deadline_ns <= 0:
+            raise ValueError("op deadline must be positive")
+        op.deadline_ns = deadline_ns
+        op._timeout_handle = self.sim.call_after(deadline_ns,
+                                                 self._timeout, op)
+
+    def _timeout(self, op: PendingOp) -> None:
+        if op.resolved:  # completion and timeout raced at one timestamp
+            return
+        op._timeout_handle = None
+        # Cancel exactly this op's outstanding expect handlers; packets
+        # still in flight are written off as timed_out and any late
+        # delivery lands in the (counted, non-fatal) unmatched bucket.
+        for packet_id in op._expected:
+            if self.cancel_expected(packet_id):
+                self.packets_timed_out += 1
+        op._expected.clear()
+        self.ops_timed_out += 1
+        op.fail(OpTimeoutError(
+            f"transport op {op.label or '<unnamed>'} missed its "
+            f"{op.deadline_ns} ns deadline (attempt {op.attempts})"))
+        self._resolve(op)
+
+    # ------------------------------------------------------------------
+    # Retries
+    # ------------------------------------------------------------------
+    def submit_with_retry(self, submit: Callable[[], PendingOp],
+                          retry: RetryPolicy,
+                          label: str = "") -> PendingOp:
+        """Submit an op with exponential-backoff resubmission on timeout.
+
+        ``submit`` is a zero-argument factory launching one attempt
+        (typically a channel ``submit_*`` closure with a per-attempt
+        ``deadline_ns``).  The returned outer handle resolves when an
+        attempt completes -- ``result_ns`` measured from the *first*
+        submission, so backoff waits count as op latency -- or fails
+        with the last attempt's :class:`OpTimeoutError` once
+        ``retry.max_attempts`` submissions all timed out.
+        """
+        outer = PendingOp(label=label or "retry")
+        start = self.sim.now
+
+        def attempt_resolved(inner: PendingOp) -> None:
+            if inner.done:
+                self._finish(outer, self.sim.now - start)
+                return
+            if outer.attempts >= retry.max_attempts:
+                outer.fail(inner.error)
+                self._resolve(outer)
+                return
+            outer.attempts += 1
+            self.sim.call_after(retry.backoff_for(outer.attempts - 1),
+                                relaunch)
+
+        def relaunch(_value=None) -> None:
+            inner = submit()
+            inner.attempts = outer.attempts
+            inner._on_resolved = attempt_resolved
+
+        first = submit()
+        first._on_resolved = attempt_resolved
+        return outer
 
     # ------------------------------------------------------------------
     # Submitted primitive ops (inject now, drive later)
     # ------------------------------------------------------------------
     def submit_one_way(self, src: int, dst: int, payload_bytes: int,
-                       packet_kind: PacketKind) -> PendingOp:
+                       packet_kind: PacketKind,
+                       deadline_ns: Optional[int] = None) -> PendingOp:
         op = PendingOp(label=f"one_way {src}->{dst}")
         start = self.sim.now
         packet = Packet(src=src, dst=dst, kind=packet_kind,
                         payload_bytes=payload_bytes, created_at=start)
         self.expect(packet,
                     lambda _p: self._finish(op, self.sim.now - start))
+        op._expected.append(packet.packet_id)
+        self._arm_deadline(op, deadline_ns)
         self.inject(packet)
         return op
 
     def submit_round_trip(self, src: int, dst: int, request_bytes: int,
                           response_bytes: int, server_ns: int,
                           request_kind: PacketKind,
-                          response_kind: PacketKind) -> PendingOp:
+                          response_kind: PacketKind,
+                          deadline_ns: Optional[int] = None) -> PendingOp:
         op = PendingOp(label=f"round_trip {src}->{dst}")
         start = self.sim.now
         request = Packet(src=src, dst=dst, kind=request_kind,
@@ -423,10 +607,16 @@ class EventTransport:
             self._finish(op, self.sim.now - start)
 
         def send_response(_value=None) -> None:
+            if op.failed:
+                # The requester gave up while the server turnaround was
+                # pending; suppress the reply so no orphan handler (or
+                # packet nobody awaits) enters the fabric.
+                return
             response = Packet(src=dst, dst=src, kind=response_kind,
                               payload_bytes=response_bytes,
                               payload=request.packet_id)
             self.expect(response, on_response)
+            op._expected.append(response.packet_id)
             self.inject(response)
 
         def on_request(_packet: Packet) -> None:
@@ -437,11 +627,14 @@ class EventTransport:
                 send_response()
 
         self.expect(request, on_request)
+        op._expected.append(request.packet_id)
+        self._arm_deadline(op, deadline_ns)
         self.inject(request)
         return op
 
     def submit_occupancy(self, src: int, dst: int, payload_bytes: int,
-                         packet_kind: PacketKind) -> PendingOp:
+                         packet_kind: PacketKind,
+                         deadline_ns: Optional[int] = None) -> PendingOp:
         """Delivery spacing of two back-to-back packets (pipelined cost)."""
         op = PendingOp(label=f"occupancy {src}->{dst}")
         arrivals: List[int] = []
@@ -455,12 +648,15 @@ class EventTransport:
             packet = Packet(src=src, dst=dst, kind=packet_kind,
                             payload_bytes=payload_bytes)
             self.expect(packet, on_delivery)
+            op._expected.append(packet.packet_id)
             self.inject(packet)
+        self._arm_deadline(op, deadline_ns)
         return op
 
     def submit_stream(self, src: int, dst: int, chunk_sizes: Sequence[int],
                       per_chunk_server_ns: int,
-                      packet_kind: PacketKind) -> PendingOp:
+                      packet_kind: PacketKind,
+                      deadline_ns: Optional[int] = None) -> PendingOp:
         """Makespan of a chunked transfer: inject-all, credit-paced.
 
         All chunks are offered to the fabric at once; the datalink
@@ -492,7 +688,9 @@ class EventTransport:
             chunk = Packet(src=src, dst=dst, kind=packet_kind,
                            payload_bytes=size, created_at=start)
             self.expect(chunk, on_chunk)
+            op._expected.append(chunk.packet_id)
             self.inject(chunk)
+        self._arm_deadline(op, deadline_ns)
         return op
 
     # ------------------------------------------------------------------
@@ -588,25 +786,31 @@ class EventBackend(TransportBackend):
     # Submitted (overlappable) ops
     # ------------------------------------------------------------------
     def submit_one_way(self, payload_bytes,
-                       packet_kind=PacketKind.QPAIR_DATA) -> PendingOp:
+                       packet_kind=PacketKind.QPAIR_DATA,
+                       deadline_ns=None) -> PendingOp:
         return self.transport.submit_one_way(self.src, self.dst,
-                                             payload_bytes, packet_kind)
+                                             payload_bytes, packet_kind,
+                                             deadline_ns=deadline_ns)
 
     def submit_round_trip(self, request_bytes, response_bytes, server_ns=0,
                           request_kind=PacketKind.CRMA_READ,
-                          response_kind=PacketKind.CRMA_READ_RESP) -> PendingOp:
+                          response_kind=PacketKind.CRMA_READ_RESP,
+                          deadline_ns=None) -> PendingOp:
         return self.transport.submit_round_trip(
             self.src, self.dst, request_bytes, response_bytes, server_ns,
-            request_kind, response_kind)
+            request_kind, response_kind, deadline_ns=deadline_ns)
 
     def submit_occupancy(self, payload_bytes,
-                         packet_kind=PacketKind.QPAIR_DATA) -> PendingOp:
+                         packet_kind=PacketKind.QPAIR_DATA,
+                         deadline_ns=None) -> PendingOp:
         return self.transport.submit_occupancy(self.src, self.dst,
-                                               payload_bytes, packet_kind)
+                                               payload_bytes, packet_kind,
+                                               deadline_ns=deadline_ns)
 
     def submit_stream(self, chunk_bytes, chunks, last_chunk_bytes,
                       per_chunk_server_ns, lanes=1, double_buffering=True,
-                      packet_kind=PacketKind.RDMA_CHUNK) -> PendingOp:
+                      packet_kind=PacketKind.RDMA_CHUNK,
+                      deadline_ns=None) -> PendingOp:
         # The event fabric is single-lane and always overlaps donor-side
         # services with the link.  Silently measuring a differently
         # configured stream would report model mismatch as if it were
@@ -623,7 +827,8 @@ class EventBackend(TransportBackend):
                 "closed-form knob")
         sizes = [chunk_bytes] * max(0, chunks - 1) + [last_chunk_bytes]
         return self.transport.submit_stream(self.src, self.dst, sizes,
-                                            per_chunk_server_ns, packet_kind)
+                                            per_chunk_server_ns, packet_kind,
+                                            deadline_ns=deadline_ns)
 
 
 class CrossTrafficDriver:

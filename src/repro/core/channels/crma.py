@@ -105,7 +105,8 @@ class CrmaChannel:
                 + transport
                 + self.config.response_processing_ns)
 
-    def submit_read(self, size_bytes: int) -> PendingOp:
+    def submit_read(self, size_bytes: int,
+                    deadline_ns: Optional[int] = None) -> PendingOp:
         """Submit one remote cacheline fill without driving the fabric.
 
         Event-backend only: the read's request packet is injected and a
@@ -114,6 +115,9 @@ class CrmaChannel:
         :meth:`~repro.core.channels.backend.EventTransport.drive_all`
         and genuinely contend on shared links.  ``op.latency_ns`` then
         matches what :meth:`read_latency_ns` would have returned.
+        ``deadline_ns`` bounds the transport time: past it the op fails
+        with :class:`~repro.core.channels.backend.OpTimeoutError`
+        instead of waiting forever on a faulted fabric.
         """
         if size_bytes <= 0:
             raise ValueError("read size must be positive")
@@ -127,7 +131,8 @@ class CrmaChannel:
         op = submit(_REQUEST_PAYLOAD_BYTES, size_bytes,
                     server_ns=self.donor_dram.access_latency_ns(size_bytes),
                     request_kind=PacketKind.CRMA_READ,
-                    response_kind=PacketKind.CRMA_READ_RESP)
+                    response_kind=PacketKind.CRMA_READ_RESP,
+                    deadline_ns=deadline_ns)
         op.overhead_ns += (self.config.request_processing_ns
                            + self.config.response_processing_ns)
         return op

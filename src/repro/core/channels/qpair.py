@@ -92,7 +92,8 @@ class QPairChannel:
         return (self.send_overhead_ns() + transport
                 + self.receive_overhead_ns())
 
-    def submit_message(self, payload_bytes: int) -> PendingOp:
+    def submit_message(self, payload_bytes: int,
+                       deadline_ns: Optional[int] = None) -> PendingOp:
         """Submit one one-way message without driving the fabric.
 
         Event-backend only; the counterpart of :meth:`message_latency_ns`
@@ -107,12 +108,14 @@ class QPairChannel:
                 "require the event transport backend")
         self.stats.counter("messages").increment()
         self.stats.counter("bytes").increment(payload_bytes)
-        op = submit(payload_bytes, packet_kind=PacketKind.QPAIR_DATA)
+        op = submit(payload_bytes, packet_kind=PacketKind.QPAIR_DATA,
+                    deadline_ns=deadline_ns)
         op.overhead_ns += self.send_overhead_ns() + self.receive_overhead_ns()
         return op
 
     def submit_round_trip(self, request_bytes: int, response_bytes: int,
-                          remote_handler_ns: int = 0) -> PendingOp:
+                          remote_handler_ns: int = 0,
+                          deadline_ns: Optional[int] = None) -> PendingOp:
         """Submit one request/response exchange without driving the fabric.
 
         Event-backend only; the returned handle resolves (under
@@ -134,7 +137,8 @@ class QPairChannel:
                      + self.send_overhead_ns())
         op = submit(request_bytes, response_bytes, server_ns=server_ns,
                     request_kind=PacketKind.QPAIR_DATA,
-                    response_kind=PacketKind.QPAIR_ACK)
+                    response_kind=PacketKind.QPAIR_ACK,
+                    deadline_ns=deadline_ns)
         op.overhead_ns += self.send_overhead_ns() + self.receive_overhead_ns()
         return op
 

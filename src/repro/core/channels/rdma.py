@@ -76,7 +76,8 @@ class RdmaChannel:
         self.stats.counter("bytes").increment(size_bytes)
         return int(total)
 
-    def submit_transfer(self, size_bytes: int) -> PendingOp:
+    def submit_transfer(self, size_bytes: int,
+                        deadline_ns: Optional[int] = None) -> PendingOp:
         """Submit one chunked DMA transfer without driving the fabric.
 
         Event-backend only; the chunks are offered to the fabric now and
@@ -101,7 +102,8 @@ class RdmaChannel:
             per_chunk_server_ns=self.donor_dram.dma_latency_ns(chunk_bytes),
             lanes=max(1, self.config.stripe_lanes),
             double_buffering=self.config.double_buffering,
-            packet_kind=PacketKind.RDMA_CHUNK)
+            packet_kind=PacketKind.RDMA_CHUNK,
+            deadline_ns=deadline_ns)
         op.overhead_ns += (self.config.descriptor_setup_ns
                            + self.config.completion_ns)
         return op

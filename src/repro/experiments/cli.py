@@ -23,6 +23,7 @@ from repro.experiments.fig16_accel_nic import (
 )
 from repro.experiments.fig17_channels import run_fig17
 from repro.experiments.fig18_flow_control import run_fig18
+from repro.experiments.fig_cluster_churn import run_fig_cluster_churn
 from repro.experiments.fig_cluster_contended import run_fig_cluster_contended
 from repro.experiments.fig_cluster_contention import (
     run_fig_cluster_contention,
@@ -58,6 +59,8 @@ EXPERIMENTS: Dict[str, tuple] = {
     "cluster_contended": ("concurrent borrowers' measured reads on the "
                           "shared fleet fabric vs the serialized op driver",
                           run_fig_cluster_contended),
+    "churn": ("deterministic fault campaigns with live recovery over the "
+              "contended event fabric", run_fig_cluster_churn),
     "hwcost": ("Section 7.3 hardware cost", run_hardware_cost),
 }
 

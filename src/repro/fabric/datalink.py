@@ -278,6 +278,17 @@ class DataLink:
                 "(unpruned replay counters)")
         if attempts > self.config.max_replays:
             self._ctr_link_faults.value += 1
+            # Abandonment must leave no residue: the retransmission
+            # window entry and attempt counter are pruned (they used to
+            # leak forever), and the credit the packet consumed at send
+            # time is returned -- the receiver's buffer slot is free, it
+            # just never held a clean copy.  Without the return, every
+            # abandoned packet permanently shrank the sender's window
+            # until a long fault campaign deadlocked the link.
+            self._pending_replay.pop(packet.sequence, None)
+            self._replay_attempts.pop(packet.sequence, None)
+            self._ctr_credits_returned.value += 1
+            self._flush_credits(self._credits_owed + 1)
             return
         retry = Packet(
             src=original.src,

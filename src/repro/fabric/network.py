@@ -96,8 +96,9 @@ class Switch:
 
     __slots__ = ("sim", "node_id", "config", "name", "routing_table",
                  "stats", "_ctr_switched", "_ctr_ejected", "_ctr_unroutable",
-                 "_output_links", "_port_counters", "_resolved",
-                 "_resolved_version", "_fwd_ns", "_call_after", "_local_sink")
+                 "_ctr_admin_dropped", "_output_links", "_port_counters",
+                 "_resolved", "_resolved_version", "_fwd_ns", "_call_after",
+                 "_local_sink", "_admin_up")
 
     def __init__(self, sim: Simulator, node_id: int,
                  config: Optional[SwitchConfig] = None, name: str = ""):
@@ -107,9 +108,10 @@ class Switch:
         self.name = name or f"switch{node_id}"
         self.routing_table = RoutingTable()
         self.stats = StatsRegistry(self.name)
-        (self._ctr_switched, self._ctr_ejected,
-         self._ctr_unroutable) = self.stats.bind_counters(
-            "packets_switched", "packets_ejected", "packets_unroutable")
+        (self._ctr_switched, self._ctr_ejected, self._ctr_unroutable,
+         self._ctr_admin_dropped) = self.stats.bind_counters(
+            "packets_switched", "packets_ejected", "packets_unroutable",
+            "packets_dropped_admin_down")
         self._output_links: Dict[int, DataLink] = {}  # simlint: disable=SIM006 -- bounded by switch radix, ports are never detached
         #: Per-port forwarded counters, bound when the port is attached.
         self._port_counters: Dict[int, object] = {}  # simlint: disable=SIM006 -- bounded by switch radix, ports are never detached
@@ -121,6 +123,28 @@ class Switch:
         self._fwd_ns = self.config.forwarding_latency_ns
         self._call_after = sim.call_after
         self._local_sink: Optional[Callable[[Packet], None]] = None
+        #: Administrative state (fault injection).  A downed switch --
+        #: a failed router, or the embedded switch of a crashed node --
+        #: black-holes every packet it would have routed or ejected;
+        #: the drops are counted so the transport's packet-lifecycle
+        #: audit still balances under churn.
+        self._admin_up = True
+
+    # ------------------------------------------------------------------
+    # Administrative state (fault injection)
+    # ------------------------------------------------------------------
+    @property
+    def admin_up(self) -> bool:
+        """False while a fault campaign holds this switch down."""
+        return self._admin_up
+
+    def set_admin_down(self) -> None:
+        """Fail the switch: routed and ejected packets are dropped."""
+        self._admin_up = False
+
+    def set_admin_up(self) -> None:
+        """Restore the switch; forwarding resumes for new packets."""
+        self._admin_up = True
 
     def attach_output(self, port: int, datalink: DataLink) -> None:
         """Attach the datalink serving an output port."""
@@ -149,6 +173,14 @@ class Switch:
         self._call_after(self._fwd_ns, self._route, packet)
 
     def _route(self, packet: Packet) -> None:
+        if not self._admin_up:
+            # The upstream datalink already finished its accounting
+            # (credit returned, replay window pruned) before handing the
+            # packet over, so dropping here leaks nothing -- the packet
+            # just never completes its op, which is the timeout path's
+            # job to notice.
+            self._ctr_admin_dropped.value += 1
+            return
         dst = packet.dst
         if dst == self.node_id:
             self._eject(packet)

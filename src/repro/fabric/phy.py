@@ -92,8 +92,9 @@ class PhysicalLink:
 
     __slots__ = ("sim", "config", "name", "rng", "stats", "_ctr_offered",
                  "_ctr_busy_ns", "_ctr_sent", "_ctr_bytes", "_ctr_corrupted",
-                 "_send_name", "_tx_queue", "_tx_waiters", "_tx_busy",
-                 "_sink", "_call_after")
+                 "_ctr_admin_faulted", "_send_name", "_tx_queue",
+                 "_tx_waiters", "_tx_busy", "_sink", "_call_after",
+                 "_admin_up")
 
     def __init__(self, sim: Simulator, config: LinkConfig, name: str = "link",
                  rng: Optional[DeterministicRNG] = None):
@@ -110,9 +111,10 @@ class PhysicalLink:
         self.rng = rng or DeterministicRNG(0)
         self.stats = StatsRegistry(name)
         (self._ctr_offered, self._ctr_busy_ns, self._ctr_sent,
-         self._ctr_bytes, self._ctr_corrupted) = self.stats.bind_counters(
+         self._ctr_bytes, self._ctr_corrupted,
+         self._ctr_admin_faulted) = self.stats.bind_counters(
             "packets_offered", "busy_ns", "packets_sent", "bytes_sent",
-            "packets_corrupted")
+            "packets_corrupted", "packets_faulted_admin_down")
         self._send_name = f"{name}.txq.put"
         #: Accepted packets waiting for the serializer (excludes the one
         #: in service); bounded by ``config.queue_capacity``.
@@ -123,10 +125,38 @@ class PhysicalLink:
         self._sink: Optional[Callable[[Packet], None]] = None
         #: Scheduler entry point bound once; two calls per packet.
         self._call_after = sim.call_after
+        #: Administrative state (fault injection).  A downed link keeps
+        #: transmitting -- the serializer and the propagation pipeline
+        #: are modelled as unaware of the fault -- but every packet it
+        #: delivers while down arrives corrupted, so the far end's CRC
+        #: check NAKs it into the datalink replay path.
+        self._admin_up = True
 
     def connect(self, sink: Callable[[Packet], None]) -> None:
         """Register the receive callback at the far end of the link."""
         self._sink = sink
+
+    # ------------------------------------------------------------------
+    # Administrative state (fault injection)
+    # ------------------------------------------------------------------
+    @property
+    def admin_up(self) -> bool:
+        """False while a fault campaign holds this link down."""
+        return self._admin_up
+
+    def set_admin_down(self) -> None:
+        """Fail the link: every delivery while down arrives corrupted.
+
+        Packets already in flight are faulted too -- delivery, not
+        acceptance, is the corruption point -- so a flap injected
+        mid-transfer produces real CRC/NAK replay storms at the far-end
+        datalink instead of silently draining the pipeline.
+        """
+        self._admin_up = False
+
+    def set_admin_up(self) -> None:
+        """Restore the link; subsequent deliveries are clean again."""
+        self._admin_up = True
 
     @property
     def queue_depth(self) -> int:
@@ -212,6 +242,10 @@ class PhysicalLink:
 
     def _deliver(self, packet: Packet) -> None:
         packet.hops += 1
+        if not self._admin_up:
+            if not packet.corrupted:
+                packet.corrupted = True
+                self._ctr_admin_faulted.value += 1
         if self._sink is None:
             self.stats.counter("packets_dropped_no_sink").increment()
             return

@@ -33,6 +33,13 @@ from repro.runtime.fault import (
     RecoveryPlan,
     RecoveryStep,
 )
+from repro.runtime.churn import (
+    ChurnConfig,
+    ChurnEngine,
+    ChurnEvent,
+    FaultKind,
+    generate_campaign,
+)
 
 __all__ = [
     "ResourceKind",
@@ -55,4 +62,9 @@ __all__ = [
     "RecoveryAction",
     "RecoveryPlan",
     "RecoveryStep",
+    "ChurnConfig",
+    "ChurnEngine",
+    "ChurnEvent",
+    "FaultKind",
+    "generate_campaign",
 ]

@@ -1,0 +1,392 @@
+"""Churn engine: deterministic fault campaigns on the event fabric.
+
+The paper's fault-containment story names heartbeats and the Topology
+Status Table as the ingredients; everything in :mod:`repro.runtime.fault`
+so far has only ever been exercised as a synchronous table
+recomputation.  The :class:`ChurnEngine` closes that gap: it schedules
+LINK_DOWN/LINK_UP flaps, router failures and donor-node crashes as
+*simulator events*, so faults land mid-flight -- packets on a downed
+link corrupt and feed the datalink replay path, packets crossing a
+failed router black-hole and trip transport deadlines -- while a
+heartbeat pump drives :meth:`MonitorNode.collect_heartbeats` /
+:meth:`FaultHandler.check_heartbeats` from the *simulated* clock, so
+failure detection latency is measured, not assumed.
+
+Campaigns are generated deterministically from a
+:class:`~repro.sim.rng.DeterministicRNG` seed over *sorted* candidate
+lists, so a fixed ``(topology, seed)`` pair always produces the same
+fault sequence -- byte-identical stats across runs and across timer
+backends.  (Child streams are derived by seed arithmetic, never by
+string hashing, so determinism holds across processes too.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.runtime.fault import FaultHandler, RecoveryPlan
+from repro.runtime.tables import LinkStatus
+from repro.sim.rng import DeterministicRNG
+
+
+class FaultKind(enum.Enum):
+    """Fault classes a campaign can inject."""
+
+    LINK_FLAP = "link_flap"
+    ROUTER_FAIL = "router_fail"
+    NODE_CRASH = "node_crash"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled fault: applied at ``at_ns``, healed after ``duration_ns``."""
+
+    at_ns: int
+    kind: FaultKind
+    #: ``(node_a, node_b)`` for link flaps, ``(node,)`` otherwise.
+    target: Tuple[int, ...]
+    duration_ns: int
+    #: Campaign-order tie-break for coincident events.
+    index: int
+
+
+@dataclass
+class ChurnConfig:
+    """Shape of one fault campaign."""
+
+    seed: int = 1
+    #: Window (from engine start, in simulated ns) fault *injections*
+    #: are drawn from; every fault also heals within the window plus
+    #: its duration.
+    horizon_ns: int = 30_000_000
+    link_flaps: int = 2
+    router_failures: int = 1
+    node_crashes: int = 1
+    #: How long a flapped link stays admin-down.
+    flap_duration_ns: int = 500_000
+    #: How long a failed router stays down.
+    router_down_ns: int = 800_000
+    #: How long a crashed node stays down before rejoining.
+    crash_down_ns: int = 4_000_000
+    #: Heartbeat pump period on the simulated clock.
+    heartbeat_period_ns: int = 200_000
+    #: Monitor heartbeat timeout while the engine runs (installed on
+    #: start): a crash is detectable after this much silence.
+    heartbeat_timeout_ns: int = 700_000
+
+    def __post_init__(self) -> None:
+        if self.horizon_ns <= 0:
+            raise ValueError("campaign horizon must be positive")
+        if min(self.link_flaps, self.router_failures, self.node_crashes) < 0:
+            raise ValueError("fault counts must be non-negative")
+        if min(self.flap_duration_ns, self.router_down_ns,
+               self.crash_down_ns) <= 0:
+            raise ValueError("fault durations must be positive")
+        if self.heartbeat_period_ns <= 0:
+            raise ValueError("heartbeat period must be positive")
+        if self.heartbeat_timeout_ns <= self.heartbeat_period_ns:
+            raise ValueError(
+                "heartbeat timeout must exceed the pump period, or every "
+                "node looks dead between consecutive pumps")
+
+
+def generate_campaign(config: ChurnConfig, topology) -> List[ChurnEvent]:
+    """Deterministic fault schedule for ``topology`` from ``config.seed``.
+
+    Candidates are drawn from sorted lists (links for flaps, router
+    nodes for router failures, compute nodes for crashes) with one
+    derived RNG stream per fault class, so adding faults of one kind
+    never perturbs another kind's draws.  Topologies without routers
+    simply get no router failures.  Events are returned sorted by
+    ``(at_ns, index)``.
+    """
+    events: List[ChurnEvent] = []
+    index = 0
+
+    def _times(rng: DeterministicRNG, count: int, duration: int) -> List[int]:
+        upper = max(1, config.horizon_ns - duration)
+        return [rng.uniform_int(1, upper) for _ in range(count)]
+
+    flap_rng = DeterministicRNG(config.seed * 1_000_003 + 1)
+    links = topology.links  # already sorted unordered pairs
+    if links:
+        for at in _times(flap_rng, config.link_flaps,
+                         config.flap_duration_ns):
+            target = flap_rng.choice(links)
+            events.append(ChurnEvent(at_ns=at, kind=FaultKind.LINK_FLAP,
+                                     target=tuple(target),
+                                     duration_ns=config.flap_duration_ns,
+                                     index=index))
+            index += 1
+
+    router_rng = DeterministicRNG(config.seed * 1_000_003 + 2)
+    routers = sorted(topology.router_nodes)
+    if routers:
+        for at in _times(router_rng, config.router_failures,
+                         config.router_down_ns):
+            target = router_rng.choice(routers)
+            events.append(ChurnEvent(at_ns=at, kind=FaultKind.ROUTER_FAIL,
+                                     target=(target,),
+                                     duration_ns=config.router_down_ns,
+                                     index=index))
+            index += 1
+
+    crash_rng = DeterministicRNG(config.seed * 1_000_003 + 3)
+    compute = list(topology.compute_nodes)
+    if compute:
+        crashed: Set[int] = set()
+        for at in _times(crash_rng, config.node_crashes,
+                         config.crash_down_ns):
+            candidates = [node for node in compute if node not in crashed]
+            if not candidates:
+                break
+            target = crash_rng.choice(candidates)
+            # One crash per node per campaign keeps the detection
+            # bookkeeping unambiguous (a node cannot die again while
+            # its first failure is still being measured).
+            crashed.add(target)
+            events.append(ChurnEvent(at_ns=at, kind=FaultKind.NODE_CRASH,
+                                     target=(target,),
+                                     duration_ns=config.crash_down_ns,
+                                     index=index))
+            index += 1
+
+    return sorted(events, key=lambda event: (event.at_ns, event.index))
+
+
+class ChurnEngine:
+    """Applies a fault campaign to a live event fabric and its runtime.
+
+    Wires three layers together on one simulated clock:
+
+    * **fabric** -- flaps toggle :class:`~repro.fabric.phy.PhysicalLink`
+      admin state (both directions), router failures and node crashes
+      toggle :class:`~repro.fabric.network.Switch` admin state;
+    * **runtime** -- every fault/heal is reported to the
+      :class:`~repro.runtime.fault.FaultHandler` (TST DOWN/UP, node
+      failure revocations), and a heartbeat pump advances the
+      :class:`~repro.runtime.monitor.MonitorNode` clock in step with the
+      simulator, polling every live agent and sweeping for dead nodes;
+    * **transport** -- while active the engine registers as a background
+      source, so ``drive_all`` runs in bounded time slices instead of
+      expecting the (never-idle, pump-driven) queue to drain.
+
+    Crashed nodes stop heart-beating, so their failure is *detected* by
+    the sweep after the heartbeat timeout; the detection latency of each
+    crash is recorded in simulated time.  ``on_node_failure`` (if given)
+    fires once per detected crash with ``(node_id, RecoveryPlan)`` --
+    the hook churn experiments use to trigger matchmaker re-borrows.
+    """
+
+    def __init__(self, transport, monitor, fault_handler: FaultHandler,
+                 config: Optional[ChurnConfig] = None,
+                 on_node_failure: Optional[
+                     Callable[[int, RecoveryPlan], None]] = None):
+        self.transport = transport
+        self.sim = transport.sim
+        self.monitor = monitor
+        self.fault_handler = fault_handler
+        self.config = config or ChurnConfig()
+        self.on_node_failure = on_node_failure
+        self.campaign: List[ChurnEvent] = generate_campaign(
+            self.config, monitor.topology)
+        self.active = False
+        self._handles: List[list] = []
+        self._pump_handle: Optional[list] = None
+        self._crashed: Set[int] = set()
+        #: Faults currently applied (healed early if the engine stops).
+        self._down_links: Set[Tuple[int, int]] = set()
+        self._down_routers: Set[int] = set()
+        self._crash_at: Dict[int, int] = {}  # simlint: disable=SIM006 -- one entry per crashed node, a campaign crashes each node at most once
+        #: Crashes applied but not yet detected by the heartbeat sweep.
+        self._crash_pending: Set[int] = set()
+        # Campaign outcome counters (all in simulated time).
+        self.flaps_applied = 0
+        self.routers_failed = 0
+        self.nodes_crashed = 0
+        self.heals_applied = 0
+        self.heartbeat_rounds = 0
+        self.detection_latency_ns: Dict[int, int] = {}  # simlint: disable=SIM006 -- bounded like _crash_at: one latency per crashed node per campaign
+        self.plans: List[RecoveryPlan] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Install the campaign and the heartbeat pump on the simulator."""
+        if self.active:
+            return
+        self.active = True
+        self.monitor.heartbeat_timeout_ns = self.config.heartbeat_timeout_ns
+        self.transport.add_background_source()
+        start_ns = self.sim.now
+        for event in self.campaign:
+            self._handles.append(self.sim.schedule_at(
+                start_ns + event.at_ns, self._apply, event))
+            self._handles.append(self.sim.schedule_at(
+                start_ns + event.at_ns + event.duration_ns,
+                self._heal, event))
+        self._pump_handle = self.sim.schedule_at(
+            start_ns + self.config.heartbeat_period_ns, self._pump)
+
+    def stop(self) -> None:
+        """Cancel outstanding campaign/pump events and deregister.
+
+        Faults already applied but not yet healed are healed on the
+        spot, so a stopped engine leaves the fabric clean and the
+        transport free to quiet-drain.
+        """
+        if not self.active:
+            return
+        self.active = False
+        for handle in self._handles:
+            self.sim.cancel(handle)
+        self._handles.clear()
+        if self._pump_handle is not None:
+            self.sim.cancel(self._pump_handle)
+            self._pump_handle = None
+        # Heal any fault whose scheduled heal we just cancelled.
+        for node_a, node_b in sorted(self._down_links):
+            for link in self._fabric_links(node_a, node_b):
+                link.set_admin_up()
+            self._report_link(node_a, node_b, LinkStatus.UP)
+            self.fault_handler.handle_link_up(node_a, node_b)
+        self._down_links.clear()
+        for router in sorted(self._down_routers):
+            self.transport.fabric.switches[router].set_admin_up()
+            for neighbor in self.monitor.topology.neighbors(router):
+                self._report_link(router, neighbor, LinkStatus.UP)
+                self.fault_handler.handle_link_up(router, neighbor)
+        self._down_routers.clear()
+        for node_id in sorted(self._crashed):
+            self._recover_node(node_id)
+        self._crashed.clear()
+        self.transport.remove_background_source()
+
+    # ------------------------------------------------------------------
+    # Fault application / healing
+    # ------------------------------------------------------------------
+    def _fabric_links(self, node_a: int, node_b: int):
+        links = self.transport.fabric.links
+        for key in ((node_a, node_b), (node_b, node_a)):
+            link = links.get(key)
+            if link is not None:
+                yield link
+
+    def _report_link(self, node_a: int, node_b: int,
+                     status: LinkStatus) -> None:
+        """Sync the endpoint agents' link view with the injected fault.
+
+        Heartbeats re-report each agent's link table; without this the
+        very next pump round would fold a healthy-looking report over
+        the TST DOWN entry and silently heal the fault.  Router
+        endpoints have no agent (only compute nodes register), so only
+        registered endpoints are updated.
+        """
+        registered = set(self.monitor.registered_nodes)
+        for reporter, neighbor in ((node_a, node_b), (node_b, node_a)):
+            if reporter in registered:
+                self.monitor.agent(reporter).set_link_status(neighbor, status)
+
+    def _apply(self, event: ChurnEvent) -> None:
+        if event.kind is FaultKind.LINK_FLAP:
+            node_a, node_b = event.target
+            for link in self._fabric_links(node_a, node_b):
+                link.set_admin_down()
+            self._down_links.add((node_a, node_b))
+            self._report_link(node_a, node_b, LinkStatus.DOWN)
+            self.plans.append(self.fault_handler.handle_link_down(node_a, node_b))
+            self.flaps_applied += 1
+        elif event.kind is FaultKind.ROUTER_FAIL:
+            (router,) = event.target
+            self.transport.fabric.switches[router].set_admin_down()
+            self._down_routers.add(router)
+            for neighbor in self.monitor.topology.neighbors(router):
+                self._report_link(router, neighbor, LinkStatus.DOWN)
+                self.plans.append(
+                    self.fault_handler.handle_link_down(router, neighbor))
+            self.routers_failed += 1
+        else:
+            (node,) = event.target
+            self.transport.fabric.switches[node].set_admin_down()
+            self._crashed.add(node)
+            self._crash_pending.add(node)
+            self._crash_at[node] = self.sim.now
+            self.nodes_crashed += 1
+
+    def _heal(self, event: ChurnEvent) -> None:
+        if event.kind is FaultKind.LINK_FLAP:
+            node_a, node_b = event.target
+            for link in self._fabric_links(node_a, node_b):
+                link.set_admin_up()
+            self._down_links.discard((node_a, node_b))
+            self._report_link(node_a, node_b, LinkStatus.UP)
+            self.fault_handler.handle_link_up(node_a, node_b)
+        elif event.kind is FaultKind.ROUTER_FAIL:
+            (router,) = event.target
+            self.transport.fabric.switches[router].set_admin_up()
+            self._down_routers.discard(router)
+            for neighbor in self.monitor.topology.neighbors(router):
+                self._report_link(router, neighbor, LinkStatus.UP)
+                self.fault_handler.handle_link_up(router, neighbor)
+        else:
+            (node,) = event.target
+            if node in self._crashed:
+                self._crashed.discard(node)
+                self._recover_node(node)
+        self.heals_applied += 1
+
+    def _recover_node(self, node_id: int) -> None:
+        self.transport.fabric.switches[node_id].set_admin_up()
+        self._crash_pending.discard(node_id)
+        self.fault_handler.handle_node_recovery(node_id)
+
+    # ------------------------------------------------------------------
+    # Heartbeat pump (simulated clock)
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        if not self.active:
+            return
+        self.heartbeat_rounds += 1
+        monitor = self.monitor
+        monitor.advance_time(self.sim.now - monitor.now_ns)
+        # Poll live agents in sorted order (crashed nodes stay silent,
+        # which is exactly what makes them detectable).
+        for node_id in monitor.registered_nodes:
+            if node_id in self._crashed:
+                continue
+            monitor.ingest_heartbeat(
+                monitor.agent(node_id).heartbeat(monitor.now_ns))
+        plans = self.fault_handler.check_heartbeats()
+        for plan in plans:
+            self.plans.append(plan)
+            for node_id in sorted(self._crash_pending):
+                if plan.event == f"node{node_id}-failure":
+                    self.detection_latency_ns[node_id] = (
+                        self.sim.now - self._crash_at[node_id])
+                    self._crash_pending.discard(node_id)
+                    if self.on_node_failure is not None:
+                        self.on_node_failure(node_id, plan)
+                    break
+        self._pump_handle = self.sim.schedule_at(
+            self.sim.now + self.config.heartbeat_period_ns, self._pump)
+
+    # ------------------------------------------------------------------
+    # Outcome
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> Dict[str, object]:
+        """Canonical (JSON-serialisable) campaign outcome snapshot."""
+        return {
+            "campaign_events": len(self.campaign),
+            "flaps_applied": self.flaps_applied,
+            "routers_failed": self.routers_failed,
+            "nodes_crashed": self.nodes_crashed,
+            "heals_applied": self.heals_applied,
+            "heartbeat_rounds": self.heartbeat_rounds,
+            "detection_latency_ns": {
+                str(node): latency for node, latency
+                in sorted(self.detection_latency_ns.items())},
+            "recovery_plans": [plan.event for plan in self.plans],
+        }

@@ -68,9 +68,21 @@ class RecoveryPlan:
 class FaultHandler:
     """Implements link- and node-failure recovery over a MonitorNode."""
 
-    def __init__(self, monitor: MonitorNode):
+    def __init__(self, monitor: MonitorNode,
+                 reallocate_on_node_failure: bool = True):
         self.monitor = monitor
         self.events_handled = 0
+        #: When False, allocations orphaned by a donor crash are revoked
+        #: instead of replaced in place, leaving re-provisioning to a
+        #: fleet-level re-borrower (the cluster matchmaker) that also
+        #: rebuilds the transport channel -- the in-place reallocation
+        #: only fixes the Monitor Node's books.
+        self.reallocate_on_node_failure = reallocate_on_node_failure
+        #: Nodes already handled as failed.  The heartbeat sweep runs
+        #: periodically and a dead node stays dead until it recovers, so
+        #: without this dedup every sweep would re-revoke (and re-count)
+        #: the same failure.
+        self._known_dead: set = set()
 
     # ------------------------------------------------------------------
     # Helpers
@@ -91,6 +103,24 @@ class FaultHandler:
             return nx.shortest_path(graph, requester, donor)
         except nx.NetworkXNoPath:
             return None
+
+    def _report_link(self, node_a: int, node_b: int,
+                     status: LinkStatus) -> None:
+        """Record a link status in the TST *and* the endpoint agents.
+
+        Heartbeats re-report each agent's link table over the TST -- and
+        releasing a grant ingests the donor's heartbeat immediately.  If
+        the agents still believed the link was up, the very recovery
+        plan that marked it DOWN would heal it mid-plan (and re-pick the
+        unreachable donor).  Router endpoints have no agent; only
+        registered endpoints are updated.
+        """
+        self.monitor.tst.report(node_a, node_b, status,
+                                now_ns=self.monitor.now_ns)
+        registered = set(self.monitor.registered_nodes)
+        for reporter, neighbor in ((node_a, node_b), (node_b, node_a)):
+            if reporter in registered:
+                self.monitor.agent(reporter).set_link_status(neighbor, status)
 
     def _reallocate(self, allocation: AllocationRecord,
                     exclude_donor: int) -> Optional[int]:
@@ -117,8 +147,7 @@ class FaultHandler:
     def handle_link_down(self, node_a: int, node_b: int) -> RecoveryPlan:
         """A fabric link failed: update the TST and fix affected grants."""
         self.events_handled += 1
-        self.monitor.tst.report(node_a, node_b, LinkStatus.DOWN,
-                                now_ns=self.monitor.now_ns)
+        self._report_link(node_a, node_b, LinkStatus.DOWN)
         plan = RecoveryPlan(event=f"link({node_a},{node_b})-down")
         for allocation in list(self.monitor.rat.active()):
             if not self._path_uses_link(allocation.requester, allocation.donor,
@@ -131,15 +160,37 @@ class FaultHandler:
                 plan.steps.append(RecoveryStep(allocation, RecoveryAction.REROUTE,
                                                new_path=alternate))
                 continue
+            # Release *before* requesting the replacement: the failed
+            # grant's capacity must be back in the RRT while the new
+            # donor is chosen, or a near-full cluster double-books and
+            # spuriously revokes grants a one-for-one swap could have
+            # saved.  The unreachable old donor cannot be re-picked --
+            # the TST DOWN report above vetoes every path to it (and
+            # ``_reallocate`` guards the donor id as a backstop).
+            self.monitor.release(_allocation_view(self.monitor, allocation))
             new_donor = self._reallocate(allocation, exclude_donor=allocation.donor)
             if new_donor is not None:
-                self.monitor.release(
-                    _allocation_view(self.monitor, allocation))
                 plan.steps.append(RecoveryStep(allocation, RecoveryAction.REALLOCATE,
                                                new_donor=new_donor))
             else:
                 plan.steps.append(RecoveryStep(allocation, RecoveryAction.REVOKE))
         return plan
+
+    def handle_link_up(self, node_a: int, node_b: int) -> RecoveryPlan:
+        """A failed link recovered: clear its TST state.
+
+        The recovery mirror of :meth:`handle_link_down` -- the missing
+        half of the paper's TST story, which only ever reported DOWN.
+        Marking the link UP immediately restores the preferred
+        (shortest-path) routes through it: ``MonitorNode._path_usable``
+        stops vetoing donors behind the link, so subsequent allocations
+        and re-borrows use the recovered route again.  Existing grants
+        are untouched (re-routing back is a policy decision, not a
+        correctness one), so the plan carries no steps.
+        """
+        self.events_handled += 1
+        self._report_link(node_a, node_b, LinkStatus.UP)
+        return RecoveryPlan(event=f"link({node_a},{node_b})-up")
 
     def _write_off_node_resources(self, node_id: int) -> None:
         """Mark every resource of a failed node unavailable in the RRT."""
@@ -155,6 +206,7 @@ class FaultHandler:
     def handle_node_failure(self, node_id: int) -> RecoveryPlan:
         """A node stopped heart-beating: revoke everything it touches."""
         self.events_handled += 1
+        self._known_dead.add(node_id)
         # Its resources are written off until the node returns, so the
         # re-allocation below can never select the dead node again.
         self._write_off_node_resources(node_id)
@@ -166,8 +218,17 @@ class FaultHandler:
             # Allocations the dead node was serving may be replaceable;
             # allocations it was consuming are simply revoked.
             if allocation.donor == node_id:
-                new_donor = self._reallocate(allocation, exclude_donor=node_id)
+                # Drop the failed record *before* requesting the
+                # replacement (the dead donor's capacity is already
+                # written off, but the requester may hold other grants
+                # whose books must be settled first) -- the
+                # reallocate-then-release order transiently double-books
+                # the requester's demand and spuriously revokes at full
+                # occupancy.  No hot-add-back: the donor is dead, so the
+                # RAT record is released directly.
                 self.monitor.rat.release(allocation.allocation_id)
+                new_donor = (self._reallocate(allocation, exclude_donor=node_id)
+                             if self.reallocate_on_node_failure else None)
                 if new_donor is not None:
                     plan.steps.append(RecoveryStep(allocation,
                                                    RecoveryAction.REALLOCATE,
@@ -178,10 +239,30 @@ class FaultHandler:
             plan.steps.append(RecoveryStep(allocation, RecoveryAction.REVOKE))
         return plan
 
+    def handle_node_recovery(self, node_id: int) -> None:
+        """A previously failed node came back: reinstate its resources.
+
+        Clears the failure dedup (so a later crash is handled afresh)
+        and re-ingests the node's heartbeat, which re-registers its RRT
+        rows with live capacity in place of the write-off.
+        """
+        self.events_handled += 1
+        self._known_dead.discard(node_id)
+        agent = self.monitor.agent(node_id)
+        self.monitor.ingest_heartbeat(agent.heartbeat(self.monitor.now_ns))
+
     def check_heartbeats(self) -> List[RecoveryPlan]:
-        """Sweep for dead nodes and handle each as a node failure."""
+        """Sweep for dead nodes and handle each *new* failure.
+
+        Nodes already handled (still dead from an earlier sweep) are
+        skipped until :meth:`handle_node_recovery` clears them, so a
+        periodic sweep driven from the simulator clock converges
+        instead of re-revoking the same node every period.
+        """
         plans = []
         for node_id in self.monitor.dead_nodes():
+            if node_id in self._known_dead:
+                continue
             plans.append(self.handle_node_failure(node_id))
         return plans
 

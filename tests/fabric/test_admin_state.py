@@ -1,0 +1,158 @@
+"""Admin up/down state on physical links and switches (churn support).
+
+An admin-downed link faults packets *in flight* at the delivery point:
+they arrive corrupted and feed the real CRC/NAK replay machinery, so a
+flap produces a genuine replay storm (and, past the replay budget, a
+link fault with the consumed credit returned).  An admin-downed switch
+drops everything it would have routed, counted so the transport's
+packet-lifecycle audit still balances.
+"""
+
+from repro.fabric.datalink import DataLink, DataLinkConfig
+from repro.fabric.packet import Packet, PacketKind
+from repro.fabric.phy import LinkConfig, PhysicalLink
+from repro.sim.rng import DeterministicRNG
+
+
+def build_datalink(sim, credits=4, max_replays=8):
+    link = PhysicalLink(sim, LinkConfig(), rng=DeterministicRNG(1))
+    datalink = DataLink(sim, link,
+                        DataLinkConfig(credits=credits,
+                                       max_replays=max_replays))
+    return link, datalink
+
+
+def make_packet(payload=256):
+    return Packet(src=0, dst=1, kind=PacketKind.QPAIR_DATA,
+                  payload_bytes=payload)
+
+
+# ----------------------------------------------------------------------
+# Physical link admin state
+# ----------------------------------------------------------------------
+def test_link_starts_admin_up_and_toggles(sim):
+    link, _datalink = build_datalink(sim)
+    assert link.admin_up
+    link.set_admin_down()
+    assert not link.admin_up
+    link.set_admin_up()
+    assert link.admin_up
+
+
+def test_admin_down_faults_packets_in_flight(sim):
+    # The packet is already on the wire when the link goes down: it
+    # still arrives (delivery is the corruption point), but corrupted,
+    # so the datalink's CRC check catches it and requests a replay.
+    # The replay budget is bumped so the outage cannot exhaust it
+    # before the heal (abandonment is covered separately below).
+    link, datalink = build_datalink(sim, max_replays=100_000)
+    received = []
+    datalink.connect(received.append)
+    datalink.send_and_forget(make_packet())
+    link.set_admin_down()
+    sim.run(until=sim.now + 50_000)
+    assert link.stats.counter("packets_faulted_admin_down").value > 0
+    assert datalink.stats.counter("crc_errors").value > 0
+    assert received == []
+    # Heal: the pending replay finally crosses clean.
+    link.set_admin_up()
+    sim.run_until_idle()
+    assert len(received) == 1
+
+
+def test_sustained_outage_exhausts_replays_and_returns_the_credit(sim):
+    # A flap longer than the whole replay budget: the sender abandons
+    # the packet (link fault), and the credit it consumed must come
+    # back -- otherwise every abandoned packet permanently shrinks the
+    # window and a long churn campaign deadlocks the link.
+    link, datalink = build_datalink(sim, credits=2, max_replays=3)
+    received = []
+    datalink.connect(received.append)
+    link.set_admin_down()
+    datalink.send_and_forget(make_packet())
+    sim.run_until_idle()
+    assert received == []
+    assert datalink.stats.counter("link_faults").value == 1
+    # Three replayed transmissions plus the abandoning request.
+    assert datalink.stats.counter("replays").value == 4
+    # Replay tracking was pruned with the abandonment.
+    assert datalink.tracked_replay_sequences() == 0
+    # The returned credit keeps the window usable after the heal: a
+    # full credit window of fresh packets still flows.
+    link.set_admin_up()
+    for _ in range(4):
+        datalink.send_and_forget(make_packet())
+    sim.run_until_idle()
+    assert len(received) == 4
+
+
+def test_flap_storm_amplifies_replays(sim):
+    # Replays under a flap must exceed the fault count: each faulted
+    # packet is retried multiple times while the link stays down.
+    link, datalink = build_datalink(sim, credits=8, max_replays=8)
+    datalink.connect(lambda packet: None)
+    link.set_admin_down()
+    for _ in range(4):
+        datalink.send_and_forget(make_packet())
+    sim.run(until=sim.now + 30_000)
+    link.set_admin_up()
+    sim.run_until_idle()
+    replays = datalink.stats.counter("replays").value
+    assert replays > 4
+
+
+# ----------------------------------------------------------------------
+# Switch admin state
+# ----------------------------------------------------------------------
+def _star_fabric(sim):
+    from repro.core.config import VeniceConfig
+    from repro.core.system import VeniceSystem
+
+    system = VeniceSystem.build(VeniceConfig(num_nodes=4, topology="star"))
+    fabric = system.build_event_fabric(sim=sim)
+    return system, fabric
+
+
+def test_admin_down_switch_drops_and_counts(sim):
+    system, fabric = _star_fabric(sim)
+    hub = system.topology.router_nodes[0]
+    delivered = []
+    fabric.switches[1].attach_local_sink(delivered.append)
+    fabric.switches[hub].set_admin_down()
+    assert not fabric.switches[hub].admin_up
+    fabric.switches[0].inject(make_packet(payload=64))
+    sim.run_until_idle()
+    assert delivered == []
+    dropped = fabric.switches[hub].stats.counter(
+        "packets_dropped_admin_down").value
+    assert dropped == 1
+
+
+def test_recovered_switch_routes_again(sim):
+    system, fabric = _star_fabric(sim)
+    hub = system.topology.router_nodes[0]
+    delivered = []
+    fabric.switches[1].attach_local_sink(delivered.append)
+    fabric.switches[hub].set_admin_down()
+    fabric.switches[0].inject(make_packet(payload=64))
+    sim.run_until_idle()
+    fabric.switches[hub].set_admin_up()
+    fabric.switches[0].inject(make_packet(payload=64))
+    sim.run_until_idle()
+    assert len(delivered) == 1
+
+
+def test_admin_down_covers_local_ejection(sim):
+    # A crashed node drops even traffic addressed to itself -- the
+    # admin check runs before the ejection branch.
+    system, fabric = _star_fabric(sim)
+    delivered = []
+    fabric.switches[2].attach_local_sink(delivered.append)
+    fabric.switches[2].set_admin_down()
+    fabric.switches[0].inject(Packet(src=0, dst=2,
+                                     kind=PacketKind.QPAIR_DATA,
+                                     payload_bytes=64))
+    sim.run_until_idle()
+    assert delivered == []
+    assert fabric.switches[2].stats.counter(
+        "packets_dropped_admin_down").value == 1

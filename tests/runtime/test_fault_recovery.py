@@ -1,0 +1,183 @@
+"""Recovery-path tests: link-up, release ordering, dedup, node return.
+
+Covers the churn-facing half of :class:`FaultHandler`: clearing TST
+state when a link heals, settling the failed grant's books *before*
+planning its replacement (the full-occupancy swap), skipping
+already-handled dead nodes on periodic sweeps, and reinstating a
+recovered node's written-off resources.
+"""
+
+import pytest
+
+from repro.fabric.topology import build_mesh3d, build_star
+from repro.runtime.agent import NodeAgent
+from repro.runtime.fault import FaultHandler, RecoveryAction
+from repro.runtime.monitor import AllocationError, MonitorNode
+from repro.runtime.tables import LinkStatus, ResourceKind
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+def build_monitor(topology, capacity=4 * GB):
+    monitor = MonitorNode(topology)
+    for node in topology.compute_nodes:
+        monitor.register_agent(NodeAgent(
+            node_id=node, memory_capacity_bytes=capacity,
+            num_accelerators=1, num_nics=1,
+            neighbors=tuple(topology.neighbors(node))))
+    return monitor
+
+
+# ----------------------------------------------------------------------
+# handle_link_up
+# ----------------------------------------------------------------------
+def test_link_up_clears_tst_state():
+    monitor = build_monitor(build_mesh3d((2, 2, 2)))
+    handler = FaultHandler(monitor)
+    handler.handle_link_down(0, 1)
+    assert monitor.tst.status(0, 1) is LinkStatus.DOWN
+    plan = handler.handle_link_up(0, 1)
+    assert monitor.tst.status(0, 1) is LinkStatus.UP
+    assert plan.event == "link(0,1)-up"
+    assert plan.steps == []
+    assert handler.events_handled == 2
+
+
+def test_link_up_restores_preferred_routes():
+    # Down every link out of node 0: no donor is reachable, so the
+    # request fails.  Healing one link restores exactly the donors
+    # behind it (distance-first picks the now-reachable neighbour).
+    topology = build_mesh3d((2, 2, 2))
+    monitor = build_monitor(topology)
+    handler = FaultHandler(monitor)
+    for neighbor in topology.neighbors(0):
+        handler.handle_link_down(0, neighbor)
+    with pytest.raises(AllocationError):
+        monitor.request_memory(0, 64 * MB)
+    handler.handle_link_up(0, 1)
+    allocation = monitor.request_memory(0, 64 * MB)
+    assert allocation.donor == 1
+
+
+# ----------------------------------------------------------------------
+# Release-before-replace ordering at full occupancy
+# ----------------------------------------------------------------------
+def test_full_occupancy_link_down_swaps_instead_of_revoking():
+    # Star fleet at 100% occupancy: every node's memory is borrowed by
+    # another node (X<-D, R<-X, S<-R, D<-S in a ring of grants).  The
+    # hub link to X then fails, cutting X off entirely:
+    #
+    # * X's own grant (from D) is unrecoverable -> REVOKE, and its
+    #   release puts D's capacity back in the RRT;
+    # * R's grant (donor X) can then be swapped one-for-one onto the
+    #   freed D -> REALLOCATE.
+    #
+    # The pre-fix ordering never released the revoked grant, so D's
+    # capacity stayed booked and R was spuriously revoked too.
+    topology = build_star(4)
+    hub = topology.router_nodes[0]
+    capacity = 1 * GB
+    monitor = build_monitor(topology, capacity=capacity)
+    handler = FaultHandler(monitor)
+    grants = {}
+    for requester, donor in ((0, 1), (2, 0), (3, 2), (1, 3)):
+        grants[requester] = monitor.request_memory(requester, capacity,
+                                                   donor=donor)
+    assert monitor.rrt.total_available(ResourceKind.MEMORY) == 0
+
+    plan = handler.handle_link_down(hub, 0)
+
+    assert plan.count(RecoveryAction.REVOKE) == 1
+    assert plan.count(RecoveryAction.REALLOCATE) == 1
+    revoked = [step for step in plan.steps
+               if step.action is RecoveryAction.REVOKE]
+    swapped = [step for step in plan.steps
+               if step.action is RecoveryAction.REALLOCATE]
+    # X (node 0) lost its grant; R (node 2) swapped onto the freed D.
+    assert revoked[0].allocation.requester == 0
+    assert swapped[0].allocation.requester == 2
+    assert swapped[0].new_donor == 1
+
+
+def test_full_occupancy_node_crash_swaps_instead_of_revoking():
+    # Same ring of grants on a mesh; the crashed node N is both a
+    # requester (from D) and a donor (to R).  Settling N's own grant
+    # first frees D, so R's donor-loss is a one-for-one swap.
+    topology = build_mesh3d((2, 2, 2))
+    capacity = 1 * GB
+    monitor = build_monitor(topology, capacity=capacity)
+    handler = FaultHandler(monitor)
+    # N=0 borrows everything from D=1; R=2 borrows everything from N.
+    ring = ((0, 1), (2, 0), (3, 2), (4, 3), (5, 4), (6, 5), (7, 6), (1, 7))
+    for requester, donor in ring:
+        monitor.request_memory(requester, capacity, donor=donor)
+    assert monitor.rrt.total_available(ResourceKind.MEMORY) == 0
+
+    plan = handler.handle_node_failure(0)
+
+    swapped = [step for step in plan.steps
+               if step.action is RecoveryAction.REALLOCATE]
+    assert len(swapped) == 1
+    assert swapped[0].allocation.requester == 2
+    assert swapped[0].new_donor == 1
+
+
+def test_crash_without_in_place_reallocation_just_revokes():
+    # reallocate_on_node_failure=False leaves re-provisioning to a
+    # fleet-level re-borrower: donor-loss steps come back REVOKE even
+    # when replacement capacity exists.
+    monitor = build_monitor(build_mesh3d((2, 2, 2)))
+    handler = FaultHandler(monitor, reallocate_on_node_failure=False)
+    monitor.request_memory(2, 64 * MB, donor=0)
+    plan = handler.handle_node_failure(0)
+    assert plan.count(RecoveryAction.REALLOCATE) == 0
+    assert plan.count(RecoveryAction.REVOKE) == 1
+    # The revoked grant's RAT record is gone, so a re-borrower can
+    # request afresh without double-booking.
+    assert monitor.rat.active() == []
+
+
+# ----------------------------------------------------------------------
+# Heartbeat sweep dedup + node recovery
+# ----------------------------------------------------------------------
+def _silence(monitor, node_id):
+    """Stop one node's heartbeats by ageing it past the timeout."""
+    monitor.advance_time(monitor.heartbeat_timeout_ns + 1)
+    for node in monitor.registered_nodes:
+        if node != node_id:
+            monitor.ingest_heartbeat(
+                monitor.agent(node).heartbeat(monitor.now_ns))
+
+
+def test_heartbeat_sweep_handles_each_failure_once():
+    monitor = build_monitor(build_mesh3d((2, 2, 2)))
+    handler = FaultHandler(monitor)
+    _silence(monitor, 3)
+    first = handler.check_heartbeats()
+    assert [plan.event for plan in first] == ["node3-failure"]
+    # The node is still silent on the next sweep, but already handled:
+    # a periodic pump must not re-revoke it every period.
+    _silence(monitor, 3)
+    assert handler.check_heartbeats() == []
+    assert handler.events_handled == 1
+
+
+def test_node_recovery_reinstates_resources_and_rearms_detection():
+    monitor = build_monitor(build_mesh3d((2, 2, 2)))
+    handler = FaultHandler(monitor)
+    _silence(monitor, 3)
+    handler.check_heartbeats()
+    record = monitor.rrt.get(3, ResourceKind.MEMORY)
+    assert record.available == 0  # written off
+
+    handler.handle_node_recovery(3)
+    record = monitor.rrt.get(3, ResourceKind.MEMORY)
+    assert record.available > 0
+    # The node can donate again...
+    allocation = monitor.request_memory(2, 64 * MB, donor=3)
+    assert allocation.donor == 3
+    # ...and a later crash is detected afresh, not swallowed by dedup.
+    _silence(monitor, 3)
+    plans = handler.check_heartbeats()
+    assert [plan.event for plan in plans] == ["node3-failure"]
