@@ -71,6 +71,8 @@ WORKLOADS: Dict[str, dict] = {
                            ops=3000, requesters=6),
     "churn": dict(num_nodes=8, topology="fat_tree", mode="churn",
                   ops=2000),
+    "mn_shard": dict(num_nodes=8, topology="fat_tree", mode="mn_shard",
+                     ops=1500, shards=2),
 }
 
 #: Gap between injection rounds, ns (lets queues partially drain so the
@@ -430,6 +432,99 @@ class ChurnOpsDriver:
         return self.latency_total_ns / self.completed if self.completed else 0.0
 
 
+class MnShardOpsDriver:
+    """Batched borrows through the sharded Monitor Node under crashes.
+
+    The sharding counterpart of :class:`ChurnOpsDriver`: an 8-node
+    event-backed fat-tree cluster runs with its Monitor Node split into
+    two replicated leaf shards behind the coordinator, and every wave
+    re-borrows remote memory for the whole fleet through the batched
+    split-phase matchmaker (queue, plan across shards, execute), reads
+    once per share, and releases -- while a seeded ``mn_crash``
+    campaign kills shard primaries mid-run.  This is the hot path of
+    the ``mn_failover`` experiment: coordinator routing and per-shard
+    planning, replication of commits/releases to the standby, crash
+    detection on the heartbeat pump, standby promotion and exactly-once
+    in-flight ticket replay.  Budget-based and fully seeded, so the
+    simulated work is byte-identical across engine versions; only the
+    wall clock changes.
+    """
+
+    #: Simulated idle gap between borrow waves, ns (moves the clock
+    #: across the campaign so crashes land between waves too).
+    WAVE_GAP_NS = 15_000
+
+    def __init__(self, ops: int, scheduler: str = "auto",
+                 sanitize: Optional[bool] = None, seed: int = 2016,
+                 shards: int = 2):
+        from repro.cluster import Cluster, ClusterConfig
+        from repro.runtime.churn import ChurnConfig, ChurnEngine
+        from repro.runtime.fault import FaultHandler
+        from repro.runtime.shard import ShardUnavailableError
+
+        self._shard_error = ShardUnavailableError
+        self.ops = ops
+        self.cluster = Cluster(ClusterConfig(
+            num_nodes=8, topology="fat_tree", monitor_shards=shards,
+            transport_backend="event", scheduler=scheduler,
+            sanitize=sanitize))
+        self.transport = self.cluster.event_transport()
+        self.sim = self.transport.sim
+        monitor = self.cluster.monitor
+        self.engine = ChurnEngine(
+            self.transport, monitor,
+            FaultHandler(monitor, reallocate_on_node_failure=False),
+            ChurnConfig(seed=seed, horizon_ns=4_000_000, link_flaps=0,
+                        router_failures=0, node_crashes=0,
+                        mn_crashes=shards, mn_crash_down_ns=1_200_000))
+        self.completed = 0
+        self.deferred_waves = 0
+        self.latency_total_ns = 0
+
+    def run(self) -> None:
+        matchmaker = self.cluster.matchmaker
+        monitor = self.cluster.monitor
+        transport = self.transport
+        sim = self.sim
+        self.engine.start()
+        requests = [(node, 1 << 20) for node in self.cluster.node_ids]
+        index = 0
+        while index < self.ops:
+            if monitor.queued_requests == 0:
+                matchmaker.queue_requests(requests)
+            try:
+                batches = matchmaker.borrow_queued()
+            except self._shard_error:
+                # A primary is down; the next heartbeat pump promotes
+                # the standby and replays the in-flight tickets.
+                self.deferred_waves += 1
+                sim.run(until=sim.now + self.WAVE_GAP_NS)
+                continue
+            batch_ops = []
+            for batch in batches:
+                for share in batch:
+                    if index >= self.ops:
+                        break
+                    batch_ops.append(share.channel.submit_read(PAYLOAD_BYTES))
+                    index += 1
+            transport.drive_all(batch_ops)
+            for op in batch_ops:
+                self.completed += 1
+                self.latency_total_ns += op.latency_ns
+            for batch in reversed(batches):
+                for share in reversed(batch):
+                    matchmaker.release(share)
+            sim.run(until=sim.now + self.WAVE_GAP_NS)
+        self.engine.stop()
+        sim.run_until_idle()
+        if sim.sanitize:
+            transport.check_packet_lifecycle()
+
+    @property
+    def mean_rtt_ns(self) -> float:
+        return self.latency_total_ns / self.completed if self.completed else 0.0
+
+
 def run_workload(workload: str, packets_per_node: Optional[int] = None,
                  seed: int = 2016, scheduler: str = "auto",
                  sanitize: bool = False) -> WorkloadResult:
@@ -445,6 +540,26 @@ def run_workload(workload: str, packets_per_node: Optional[int] = None,
     # bench run is honestly stamped in its results.
     san = True if sanitize else None
     driver = None
+    if spec["mode"] == "mn_shard":
+        shard_driver = MnShardOpsDriver(ops=packets_per_node or spec["ops"],
+                                        scheduler=scheduler, sanitize=san,
+                                        seed=seed, shards=spec["shards"])
+        start = time.perf_counter()
+        shard_driver.run()
+        wall = time.perf_counter() - start
+        sim = shard_driver.sim
+        return WorkloadResult(
+            workload=workload,
+            packets=shard_driver.ops,
+            delivered=shard_driver.completed,
+            events=sim.events_processed,
+            sim_ns=sim.now,
+            wall_s=wall,
+            events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
+            scheduler=sim.scheduler,
+            mean_rtt_ns=shard_driver.mean_rtt_ns,
+            sanitize=sim.sanitize,
+        )
     if spec["mode"] == "churn":
         churn_driver = ChurnOpsDriver(ops=packets_per_node or spec["ops"],
                                       scheduler=scheduler, sanitize=san,

@@ -37,7 +37,12 @@ from repro.core.system import VeniceSystem
 from repro.fabric.router import RouterConfig
 from repro.fabric.topology import Topology
 from repro.runtime.monitor import MonitorNode
-from repro.runtime.policies import make_policy
+from repro.runtime.policies import (
+    ContentionAwarePolicy,
+    FabricContentionTelemetry,
+    make_policy,
+)
+from repro.runtime.shard import ShardedMonitor
 
 
 @dataclass
@@ -62,6 +67,12 @@ class ClusterConfig:
     placement: ChannelPlacement = ChannelPlacement.ON_CHIP
     #: Donor-selection policy name (see :data:`repro.runtime.policies.POLICIES`).
     policy: str = "distance-first"
+    #: Run the Monitor Node sharded: partition the RRT/RAT/TST by
+    #: fat-tree leaf into this many replicated shards behind a
+    #: coordinator (see :mod:`repro.runtime.shard`).  ``None`` keeps
+    #: the single-instance MonitorNode; values above the leaf count
+    #: are clamped.
+    monitor_shards: Optional[int] = None
     #: External-router model paid once per router crossed on a route.
     router: RouterConfig = field(default_factory=RouterConfig)
     #: How the cluster's channels cost operations: "closed_form" keeps
@@ -97,6 +108,15 @@ class Cluster:
             transport_backend=self.config.transport_backend,
             scheduler=self.config.scheduler,
             sanitize=self.config.sanitize)
+        if self.config.monitor_shards is not None:
+            # Swap the single-instance MN for the sharded, replicated
+            # one before any allocation state exists; every runtime
+            # caller goes through the same facade API.
+            sharded = ShardedMonitor(self.system.topology,
+                                     num_shards=self.config.monitor_shards)
+            for node_id in self.system.node_ids:
+                sharded.register_agent(self.system.node(node_id).agent)
+            self.system.monitor = sharded
         self.system.monitor.policy = make_policy(self.config.policy)
         #: Shared by every path of this cluster; pass one cache to
         #: several clusters to share latencies across a sweep.  (An
@@ -154,7 +174,28 @@ class Cluster:
 
     @property
     def monitor(self) -> MonitorNode:
+        """The fleet's Monitor Node (a :class:`ShardedMonitor` facade
+        when ``monitor_shards`` is configured -- same API)."""
         return self.system.monitor
+
+    def enable_contention_telemetry(
+            self, busy_weight: float = 8.0) -> ContentionAwarePolicy:
+        """Steer donor selection by *measured* link busy fractions.
+
+        Installs (or re-wires) a
+        :class:`~repro.runtime.policies.ContentionAwarePolicy` fed by
+        the live event fabric's per-link telemetry.  Event backend
+        only: the closed forms have no measured busy fractions.
+        """
+        telemetry = FabricContentionTelemetry(self.event_transport().fabric)
+        policy = self.monitor.policy
+        if isinstance(policy, ContentionAwarePolicy):
+            policy.telemetry = telemetry
+        else:
+            policy = ContentionAwarePolicy(telemetry=telemetry,
+                                           busy_weight=busy_weight)
+            self.monitor.policy = policy
+        return policy
 
     @property
     def nodes(self) -> Dict[int, VeniceNode]:

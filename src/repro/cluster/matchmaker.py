@@ -18,7 +18,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.sharing.remote_accelerator import RemoteAcceleratorTarget
 from repro.core.sharing.remote_memory import RemoteMemoryGrant
 from repro.core.sharing.remote_nic import VirtualNic
-from repro.runtime.monitor import Allocation, AllocationError
+from repro.runtime.monitor import (
+    Allocation,
+    AllocationError,
+    BatchPlanEntry,
+    BatchPlanError,
+)
+from repro.runtime.shard import ShardUnavailableError
 from repro.runtime.tables import ResourceKind
 
 
@@ -126,38 +132,57 @@ class Matchmaker:
     # ------------------------------------------------------------------
     # Batched, overlappable borrows
     # ------------------------------------------------------------------
-    def borrow_many(self, requests: Sequence[Tuple[int, int]],
-                    spill: bool = True) -> List[List[ResourceShare]]:
-        """Borrow memory for a whole batch of ``(requester, size)`` pairs.
-
-        All requests are parked on the Monitor Node's request queue
-        first, then donors are planned for the *entire* batch at once
-        (:meth:`~repro.runtime.monitor.MonitorNode.plan_queued_requests`),
-        so one batch never double-books a donor's idle memory and a
-        sweep of N borrowers resolves its shares together instead of
-        first-come-first-served.  Each planned chunk then runs the
-        pinned Figure 2 flow.  On any stale-record failure the whole
-        batch is unwound.  Returns one share list per request, aligned
-        with ``requests`` order; pair with :meth:`touch_shares` to
-        drive every borrower's first remote access concurrently over
-        the fleet's event fabric.
+    def queue_requests(self,
+                       requests: Sequence[Tuple[int, int]]) -> List[int]:
+        """Park a batch of ``(requester, size)`` pairs on the MN queue.
 
         The batch must have the request queue to itself: planning
         consumes the *whole* queue, so requests parked there by another
         caller would be planned -- and allocated -- under this batch's
-        name, misaligning the returned share lists.  A non-empty queue
-        is therefore rejected up front.
+        name, misaligning the executed share lists.  A non-empty queue
+        is therefore rejected up front.  Returns the issued tickets.
         """
         monitor = self.cluster.monitor
         if monitor.queued_requests:
             raise AllocationError(
                 f"the MN request queue already holds "
                 f"{monitor.queued_requests} parked request(s); plan them "
-                "first -- borrow_many needs the queue to itself to keep "
+                "first -- a batch needs the queue to itself to keep "
                 "its results aligned with its requests")
-        for requester, size_bytes in requests:
-            monitor.queue_memory_request(requester, size_bytes)
-        entries = monitor.plan_queued_requests()
+        return [monitor.queue_memory_request(requester, size_bytes)
+                for requester, size_bytes in requests]
+
+    def plan_queued(self) -> List["BatchPlanEntry"]:
+        """Plan the parked batch, keeping the atomic-batch contract.
+
+        On a capacity shortfall the MN re-queues every untouched ticket
+        (:class:`BatchPlanError`); since this batch is all-or-nothing,
+        those re-queued tickets are retired before re-raising so the
+        queue is left clean for the caller's retry.  A
+        :class:`ShardUnavailableError` (sharded monitor mid-crash) is
+        passed through untouched -- the queue keeps the tickets and the
+        failover replay owns them.
+        """
+        monitor = self.cluster.monitor
+        try:
+            return monitor.plan_queued_requests()
+        except BatchPlanError as error:
+            monitor.dequeue_tickets(error.requeued_tickets)
+            raise
+
+    def execute_plan(self, entries: Sequence["BatchPlanEntry"],
+                     spill: bool = True) -> List[List[ResourceShare]]:
+        """Run the pinned Figure 2 flow for every planned chunk.
+
+        Each completed ticket is confirmed to the MN
+        (:meth:`~repro.runtime.monitor.MonitorNode.complete_ticket`) so
+        a sharded monitor retires it from crash-replay tracking.  On
+        any failure the whole batch is unwound; if the failure was a
+        shard-primary crash (:class:`ShardUnavailableError`) the
+        batch's unfinished tickets stay in-flight so the promotion
+        replays them, otherwise they are retired with the batch.
+        """
+        monitor = self.cluster.monitor
         results: List[List[ResourceShare]] = []
         created: List[ResourceShare] = []
         try:
@@ -173,11 +198,46 @@ class Matchmaker:
                     shares.append(share)
                     created.append(share)
                 results.append(shares)
-        except AllocationError:
+                monitor.complete_ticket(entry.ticket)
+        except ShardUnavailableError:
             for share in reversed(created):
                 self.release(share)
             raise
+        except AllocationError:
+            for share in reversed(created):
+                self.release(share)
+            for entry in entries:
+                monitor.complete_ticket(entry.ticket)
+            raise
         return results
+
+    def borrow_queued(self, spill: bool = True) -> List[List[ResourceShare]]:
+        """Plan and execute whatever is parked on the MN request queue.
+
+        The retry entry point after a shard-primary failover: the
+        promotion re-queued the replayed tickets, so planning the queue
+        again finishes the interrupted batch.
+        """
+        return self.execute_plan(self.plan_queued(), spill=spill)
+
+    def borrow_many(self, requests: Sequence[Tuple[int, int]],
+                    spill: bool = True) -> List[List[ResourceShare]]:
+        """Borrow memory for a whole batch of ``(requester, size)`` pairs.
+
+        All requests are parked on the Monitor Node's request queue
+        first, then donors are planned for the *entire* batch at once
+        (:meth:`~repro.runtime.monitor.MonitorNode.plan_queued_requests`),
+        so one batch never double-books a donor's idle memory and a
+        sweep of N borrowers resolves its shares together instead of
+        first-come-first-served.  Each planned chunk then runs the
+        pinned Figure 2 flow.  On any stale-record failure the whole
+        batch is unwound.  Returns one share list per request, aligned
+        with ``requests`` order; pair with :meth:`touch_shares` to
+        drive every borrower's first remote access concurrently over
+        the fleet's event fabric.
+        """
+        self.queue_requests(requests)
+        return self.borrow_queued(spill=spill)
 
     def touch_shares(self, shares: Sequence[ResourceShare],
                      size_bytes: int = 64) -> Dict[ResourceShare, int]:

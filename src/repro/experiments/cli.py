@@ -30,6 +30,7 @@ from repro.experiments.fig_cluster_contention import (
     run_fig_cluster_contention_closed_loop,
 )
 from repro.experiments.fig_cluster_scaling import run_fig_cluster_scaling
+from repro.experiments.fig_mn_failover import run_fig_mn_failover
 from repro.experiments.hardware_cost import run_hardware_cost
 
 #: Experiment id -> (description, driver).
@@ -61,6 +62,9 @@ EXPERIMENTS: Dict[str, tuple] = {
                           run_fig_cluster_contended),
     "churn": ("deterministic fault campaigns with live recovery over the "
               "contended event fabric", run_fig_cluster_churn),
+    "mn_failover": ("sharded Monitor Node crash failover, coordinator "
+                    "throughput and contention-aware matchmaking",
+                    run_fig_mn_failover),
     "hwcost": ("Section 7.3 hardware cost", run_hardware_cost),
 }
 

@@ -20,12 +20,26 @@ from repro.runtime.tables import (
     TopologyStatusTable,
 )
 from repro.runtime.agent import NodeAgent, HeartbeatReport
-from repro.runtime.monitor import MonitorNode, AllocationError, Allocation
+from repro.runtime.monitor import (
+    MonitorNode,
+    AllocationError,
+    Allocation,
+    BatchPlanEntry,
+    BatchPlanError,
+)
 from repro.runtime.policies import (
     DonorSelectionPolicy,
     DistanceFirstPolicy,
     LoadBalancedPolicy,
     BandwidthAwarePolicy,
+    ContentionAwarePolicy,
+    FabricContentionTelemetry,
+)
+from repro.runtime.shard import (
+    MonitorShard,
+    ShardCoordinator,
+    ShardedMonitor,
+    ShardUnavailableError,
 )
 from repro.runtime.fault import (
     FaultHandler,
@@ -54,10 +68,18 @@ __all__ = [
     "MonitorNode",
     "AllocationError",
     "Allocation",
+    "BatchPlanEntry",
+    "BatchPlanError",
     "DonorSelectionPolicy",
     "DistanceFirstPolicy",
     "LoadBalancedPolicy",
     "BandwidthAwarePolicy",
+    "ContentionAwarePolicy",
+    "FabricContentionTelemetry",
+    "MonitorShard",
+    "ShardCoordinator",
+    "ShardedMonitor",
+    "ShardUnavailableError",
     "FaultHandler",
     "RecoveryAction",
     "RecoveryPlan",

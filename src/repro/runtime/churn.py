@@ -37,6 +37,9 @@ class FaultKind(enum.Enum):
     LINK_FLAP = "link_flap"
     ROUTER_FAIL = "router_fail"
     NODE_CRASH = "node_crash"
+    #: A Monitor-Node shard primary crashes; the heartbeat pump promotes
+    #: its standby and the healed host rejoins as the new standby.
+    MN_CRASH = "mn_crash"
 
 
 @dataclass(frozen=True)
@@ -64,12 +67,19 @@ class ChurnConfig:
     link_flaps: int = 2
     router_failures: int = 1
     node_crashes: int = 1
+    #: Monitor-shard primary crashes (needs a sharded monitor; plain
+    #: MonitorNode targets simply get none scheduled).
+    mn_crashes: int = 0
     #: How long a flapped link stays admin-down.
     flap_duration_ns: int = 500_000
     #: How long a failed router stays down.
     router_down_ns: int = 800_000
     #: How long a crashed node stays down before rejoining.
     crash_down_ns: int = 4_000_000
+    #: How long a crashed shard primary's host stays down before it
+    #: rejoins as the shard's new standby (promotion happens earlier,
+    #: at the first heartbeat pump after the crash).
+    mn_crash_down_ns: int = 2_000_000
     #: Heartbeat pump period on the simulated clock.
     heartbeat_period_ns: int = 200_000
     #: Monitor heartbeat timeout while the engine runs (installed on
@@ -79,10 +89,11 @@ class ChurnConfig:
     def __post_init__(self) -> None:
         if self.horizon_ns <= 0:
             raise ValueError("campaign horizon must be positive")
-        if min(self.link_flaps, self.router_failures, self.node_crashes) < 0:
+        if min(self.link_flaps, self.router_failures, self.node_crashes,
+               self.mn_crashes) < 0:
             raise ValueError("fault counts must be non-negative")
         if min(self.flap_duration_ns, self.router_down_ns,
-               self.crash_down_ns) <= 0:
+               self.crash_down_ns, self.mn_crash_down_ns) <= 0:
             raise ValueError("fault durations must be positive")
         if self.heartbeat_period_ns <= 0:
             raise ValueError("heartbeat period must be positive")
@@ -92,14 +103,17 @@ class ChurnConfig:
                 "node looks dead between consecutive pumps")
 
 
-def generate_campaign(config: ChurnConfig, topology) -> List[ChurnEvent]:
+def generate_campaign(config: ChurnConfig, topology,
+                      shard_ids: Optional[List[int]] = None) -> List[ChurnEvent]:
     """Deterministic fault schedule for ``topology`` from ``config.seed``.
 
     Candidates are drawn from sorted lists (links for flaps, router
-    nodes for router failures, compute nodes for crashes) with one
-    derived RNG stream per fault class, so adding faults of one kind
-    never perturbs another kind's draws.  Topologies without routers
-    simply get no router failures.  Events are returned sorted by
+    nodes for router failures, compute nodes for crashes, ``shard_ids``
+    for monitor-shard crashes) with one derived RNG stream per fault
+    class, so adding faults of one kind never perturbs another kind's
+    draws.  Topologies without routers simply get no router failures,
+    and ``mn_crashes`` are only scheduled when the target monitor is
+    sharded (``shard_ids`` given).  Events are returned sorted by
     ``(at_ns, index)``.
     """
     events: List[ChurnEvent] = []
@@ -153,6 +167,26 @@ def generate_campaign(config: ChurnConfig, topology) -> List[ChurnEvent]:
                                      index=index))
             index += 1
 
+    mn_rng = DeterministicRNG(config.seed * 1_000_003 + 4)
+    shards = sorted(shard_ids) if shard_ids else []
+    if shards:
+        hit: Set[int] = set()
+        for at in _times(mn_rng, config.mn_crashes,
+                         config.mn_crash_down_ns):
+            candidates = [shard for shard in shards if shard not in hit]
+            if not candidates:
+                break
+            target = mn_rng.choice(candidates)
+            # One crash per shard per campaign: a shard's next standby
+            # only rejoins when the crashed host heals, so a second
+            # crash inside the window could find nothing to promote.
+            hit.add(target)
+            events.append(ChurnEvent(at_ns=at, kind=FaultKind.MN_CRASH,
+                                     target=(target,),
+                                     duration_ns=config.mn_crash_down_ns,
+                                     index=index))
+            index += 1
+
     return sorted(events, key=lambda event: (event.at_ns, event.index))
 
 
@@ -191,7 +225,8 @@ class ChurnEngine:
         self.config = config or ChurnConfig()
         self.on_node_failure = on_node_failure
         self.campaign: List[ChurnEvent] = generate_campaign(
-            self.config, monitor.topology)
+            self.config, monitor.topology,
+            shard_ids=getattr(monitor, "shard_ids", None))
         self.active = False
         self._handles: List[list] = []
         self._pump_handle: Optional[list] = None
@@ -202,10 +237,18 @@ class ChurnEngine:
         self._crash_at: Dict[int, int] = {}  # simlint: disable=SIM006 -- one entry per crashed node, a campaign crashes each node at most once
         #: Crashes applied but not yet detected by the heartbeat sweep.
         self._crash_pending: Set[int] = set()
+        #: Monitor shards whose primary is down (promotion pending).
+        self._mn_down: Set[int] = set()
+        #: Healed shard hosts waiting for their shard to be promoted
+        #: before they can rejoin as the new standby.
+        self._mn_rejoin_pending: Set[int] = set()
         # Campaign outcome counters (all in simulated time).
         self.flaps_applied = 0
         self.routers_failed = 0
         self.nodes_crashed = 0
+        self.mn_crashes_applied = 0
+        self.mn_standbys_rejoined = 0
+        self.mn_failover_ns: Dict[int, int] = {}  # simlint: disable=SIM006 -- one latency per shard per campaign
         self.heals_applied = 0
         self.heartbeat_rounds = 0
         self.detection_latency_ns: Dict[int, int] = {}  # simlint: disable=SIM006 -- bounded like _crash_at: one latency per crashed node per campaign
@@ -263,6 +306,13 @@ class ChurnEngine:
         for node_id in sorted(self._crashed):
             self._recover_node(node_id)
         self._crashed.clear()
+        # Settle any monitor-shard crash still mid-failover: promote the
+        # standby now (latency still measured in simulated time) and let
+        # healed hosts rejoin, so the runtime is left fully served.
+        if self._mn_down or self._mn_rejoin_pending:
+            self.monitor.advance_time(self.sim.now - self.monitor.now_ns)
+            self._check_mn_failover()
+            self._drain_mn_rejoins()
         self.transport.remove_background_source()
 
     # ------------------------------------------------------------------
@@ -308,6 +358,14 @@ class ChurnEngine:
                 self.plans.append(
                     self.fault_handler.handle_link_down(router, neighbor))
             self.routers_failed += 1
+        elif event.kind is FaultKind.MN_CRASH:
+            (shard,) = event.target
+            # Stamp the crash at the *simulated* instant so the failover
+            # latency measured at promotion is injection-to-promotion.
+            self.monitor.advance_time(self.sim.now - self.monitor.now_ns)
+            self.monitor.crash_primary(shard)
+            self._mn_down.add(shard)
+            self.mn_crashes_applied += 1
         else:
             (node,) = event.target
             self.transport.fabric.switches[node].set_admin_down()
@@ -331,6 +389,12 @@ class ChurnEngine:
             for neighbor in self.monitor.topology.neighbors(router):
                 self._report_link(router, neighbor, LinkStatus.UP)
                 self.fault_handler.handle_link_up(router, neighbor)
+        elif event.kind is FaultKind.MN_CRASH:
+            (shard,) = event.target
+            # The crashed host is back; it can only rejoin as the new
+            # standby once the pump has promoted the old standby.
+            self._mn_rejoin_pending.add(shard)
+            self._drain_mn_rejoins()
         else:
             (node,) = event.target
             if node in self._crashed:
@@ -342,6 +406,22 @@ class ChurnEngine:
         self.transport.fabric.switches[node_id].set_admin_up()
         self._crash_pending.discard(node_id)
         self.fault_handler.handle_node_recovery(node_id)
+
+    def _check_mn_failover(self) -> None:
+        """Promote crashed shards' standbys and record failover latency."""
+        if not self._mn_down:
+            return
+        for shard_id, latency in self.monitor.check_failover():
+            self.mn_failover_ns[shard_id] = latency
+            self._mn_down.discard(shard_id)
+        self._drain_mn_rejoins()
+
+    def _drain_mn_rejoins(self) -> None:
+        for shard_id in sorted(self._mn_rejoin_pending):
+            if self.monitor.shard_alive(shard_id):
+                self.monitor.rejoin_standby(shard_id)
+                self._mn_rejoin_pending.discard(shard_id)
+                self.mn_standbys_rejoined += 1
 
     # ------------------------------------------------------------------
     # Heartbeat pump (simulated clock)
@@ -370,6 +450,9 @@ class ChurnEngine:
                     if self.on_node_failure is not None:
                         self.on_node_failure(node_id, plan)
                     break
+        # A crashed shard primary's silence is noticed by the same pump
+        # round: promote its standby and replay the in-flight tickets.
+        self._check_mn_failover()
         self._pump_handle = self.sim.schedule_at(
             self.sim.now + self.config.heartbeat_period_ns, self._pump)
 
@@ -383,6 +466,13 @@ class ChurnEngine:
             "flaps_applied": self.flaps_applied,
             "routers_failed": self.routers_failed,
             "nodes_crashed": self.nodes_crashed,
+            "mn_crashes_applied": self.mn_crashes_applied,
+            "mn_failover_ns": {
+                str(shard): latency for shard, latency
+                in sorted(self.mn_failover_ns.items())},
+            "mn_tickets_replayed": getattr(self.monitor,
+                                           "tickets_replayed", 0),
+            "mn_standbys_rejoined": self.mn_standbys_rejoined,
             "heals_applied": self.heals_applied,
             "heartbeat_rounds": self.heartbeat_rounds,
             "detection_latency_ns": {

@@ -242,13 +242,16 @@ class FaultHandler:
     def handle_node_recovery(self, node_id: int) -> None:
         """A previously failed node came back: reinstate its resources.
 
-        Clears the failure dedup (so a later crash is handled afresh)
-        and re-ingests the node's heartbeat, which re-registers its RRT
-        rows with live capacity in place of the write-off.
+        Clears the failure dedup (so a later crash is handled afresh),
+        settles any releases that were orphaned while the donor was gone
+        (so its advertised capacity does not leak), and re-ingests the
+        node's heartbeat, which re-registers its RRT rows with live
+        capacity in place of the write-off.
         """
         self.events_handled += 1
         self._known_dead.discard(node_id)
         agent = self.monitor.agent(node_id)
+        self.monitor.reconcile_orphaned_releases(node_id)
         self.monitor.ingest_heartbeat(agent.heartbeat(self.monitor.now_ns))
 
     def check_heartbeats(self) -> List[RecoveryPlan]:

@@ -32,6 +32,25 @@ class AllocationError(RuntimeError):
     """Raised when no donor can satisfy a request."""
 
 
+class BatchPlanError(AllocationError):
+    """A batch plan failed mid-way through the queue.
+
+    Carries exactly which ticket died and which tickets were put back
+    on the request queue, so callers can drop (or resize) the failed
+    request and retry the rest precisely instead of re-queueing blind.
+    """
+
+    def __init__(self, message: str, failed_request: "QueuedRequest",
+                 requeued_tickets: List[int]):
+        super().__init__(message)
+        #: Ticket of the request the fleet could not cover.
+        self.failed_ticket = failed_request.ticket
+        #: The failed request itself (requester, size) for resubmission.
+        self.failed_request = failed_request
+        #: Tickets restored to the queue, in their original FIFO order.
+        self.requeued_tickets = requeued_tickets
+
+
 @dataclass
 class Allocation:
     """Result handed back to the requester."""
@@ -82,6 +101,11 @@ class MonitorNode:
         self.handshake_retries = 0
         self._request_queue: List[QueuedRequest] = []
         self._next_ticket = 0
+        #: Releases that arrived while the donor's agent was gone (dead
+        #: or deregistered): the RAT record is settled, but the donor's
+        #: own books could not be -- reconciled when the donor returns.
+        self.orphaned_releases = 0
+        self._orphaned: Dict[int, Dict[ResourceKind, int]] = {}  # simlint: disable=SIM006 -- drained on donor recovery; bounded by fleet size
 
     # ------------------------------------------------------------------
     # Registration and heartbeats
@@ -89,7 +113,27 @@ class MonitorNode:
     def register_agent(self, agent: NodeAgent) -> None:
         """Register a node's agent and ingest an initial report."""
         self._agents[agent.node_id] = agent
+        self.reconcile_orphaned_releases(agent.node_id)
         self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+
+    def adopt_agent(self, agent: NodeAgent) -> None:
+        """Track an agent for handshakes without ingesting its resources.
+
+        Used by the shard coordinator: a foreign requester's agent must
+        be known to this shard (requester validation, handshake plumbing)
+        while its resources stay registered with its owning shard -- no
+        RRT row is created, so the node can never be picked as a donor
+        here.
+        """
+        self._agents[agent.node_id] = agent
+
+    def deregister_agent(self, node_id: int) -> None:
+        """Forget a node's agent (decommission/migration).
+
+        RRT/RAT rows are left to the fault paths; releases naming the
+        departed donor are counted as orphaned until it re-registers.
+        """
+        self._agents.pop(node_id, None)
 
     @property
     def registered_nodes(self) -> List[int]:
@@ -189,9 +233,17 @@ class MonitorNode:
             if self._donor_eligible(requester, record):
                 yield record
 
-    def _greedy_memory_plan(self, requester: int, size_bytes: int,
-                            available: Dict[int, int]) -> List[tuple]:
-        """Drain policy-ordered donors until ``size_bytes`` is covered."""
+    def partial_memory_plan(self, requester: int, size_bytes: int,
+                            available: Dict[int, int]) -> tuple:
+        """Drain policy-ordered donors towards ``size_bytes``; allow a shortfall.
+
+        Returns ``(plan, remaining)`` where ``plan`` is the usual
+        ``[(donor, take_bytes), ...]`` and ``remaining`` is the demand
+        this monitor's donors could not cover.  The shard coordinator
+        uses this to fill what it can from the owning shard before
+        forwarding the remainder cross-leaf; the single-instance paths
+        wrap it and treat any shortfall as an error.
+        """
         plan: List[tuple] = []
         remaining = size_bytes
         for record in self._eligible_memory_donors(requester, available):
@@ -200,6 +252,13 @@ class MonitorNode:
             take = min(available[record.node_id], remaining)
             plan.append((record.node_id, take))
             remaining -= take
+        return plan, remaining
+
+    def _greedy_memory_plan(self, requester: int, size_bytes: int,
+                            available: Dict[int, int]) -> List[tuple]:
+        """Drain policy-ordered donors until ``size_bytes`` is covered."""
+        plan, remaining = self.partial_memory_plan(requester, size_bytes,
+                                                   available)
         if remaining > 0:
             raise AllocationError(
                 f"fleet cannot cover {size_bytes} bytes of memory for node "
@@ -254,18 +313,36 @@ class MonitorNode:
         """Requests currently parked on the batch queue."""
         return len(self._request_queue)
 
+    def dequeue_tickets(self, tickets) -> int:
+        """Drop specific parked requests from the batch queue.
+
+        Lets the owner of a failed batch retire exactly the tickets a
+        :class:`BatchPlanError` re-queued (keeping the atomic-batch
+        contract) without disturbing requests parked by anyone else.
+        Returns how many were removed.
+        """
+        drop = set(tickets)
+        before = len(self._request_queue)
+        self._request_queue = [queued for queued in self._request_queue
+                               if queued.ticket not in drop]
+        return before - len(self._request_queue)
+
     def plan_queued_requests(self) -> List[BatchPlanEntry]:
         """Plan donors for every queued request against shared capacity.
 
-        Consumes the queue (even on failure -- nothing was allocated, so
-        callers simply re-queue if they want to retry) and plans in FIFO
-        order against a *working copy* of the advertised idle memory, so
-        one batch never double-books a donor: bytes planned for an
-        earlier ticket are unavailable to later ones.  Each request
-        prefers a single policy-ordered donor and spills across donors
-        only when no single one can cover it (the same semantics as the
-        unbatched borrow path).  Raises :class:`AllocationError` when
-        the fleet cannot cover the whole batch.
+        Plans in FIFO order against a *working copy* of the advertised
+        idle memory, so one batch never double-books a donor: bytes
+        planned for an earlier ticket are unavailable to later ones.
+        Each request prefers a single policy-ordered donor and spills
+        across donors only when no single one can cover it (the same
+        semantics as the unbatched borrow path).
+
+        On success the queue is consumed.  On a mid-batch failure
+        nothing was allocated (planning is not allocation), so every
+        ticket *except* the failed one is put back on the queue in its
+        original FIFO order and a :class:`BatchPlanError` is raised
+        naming the failed ticket and the re-queued ones -- callers can
+        drop or shrink exactly the request that died and retry the rest.
         """
         batch, self._request_queue = self._request_queue, []
         available: Dict[int, int] = {
@@ -293,9 +370,17 @@ class MonitorNode:
                                                     request.size_bytes,
                                                     available)
                 except AllocationError as error:
-                    raise AllocationError(
+                    # Restore every other ticket (earlier-planned ones
+                    # included: their plans were never executed) ahead
+                    # of anything queued while this batch was parked.
+                    untouched = [queued for queued in batch
+                                 if queued.ticket != request.ticket]
+                    self._request_queue = untouched + self._request_queue
+                    raise BatchPlanError(
                         f"batched request (ticket {request.ticket}, after "
-                        f"{len(entries)} earlier tickets): {error}"
+                        f"{len(entries)} earlier tickets): {error}",
+                        failed_request=request,
+                        requeued_tickets=[q.ticket for q in untouched],
                     ) from None
             for donor, take in plan:
                 available[donor] -= take
@@ -303,6 +388,17 @@ class MonitorNode:
                                           requester=request.requester,
                                           plan=plan))
         return entries
+
+    def complete_ticket(self, ticket: int) -> None:
+        """A planned ticket's chunks were all allocated (batch protocol).
+
+        The single-instance MN keeps no in-flight ticket state -- the
+        plan either executes synchronously or the caller unwinds -- so
+        this is a no-op hook.  The sharded coordinator overrides it to
+        retire the ticket from its replay tracking; callers (the
+        matchmaker) call it unconditionally so both monitors speak the
+        same batch protocol.
+        """
 
     def _path_usable(self, requester: int, donor: int) -> bool:
         """True when every link on the path is reported usable (or unknown).
@@ -387,10 +483,21 @@ class MonitorNode:
     # Release
     # ------------------------------------------------------------------
     def release(self, allocation: Allocation) -> None:
-        """Return a previously granted allocation to its donor."""
+        """Return a previously granted allocation to its donor.
+
+        A release naming a donor whose agent is gone (dead donor, or a
+        node migrated off this shard) settles the RAT record but cannot
+        settle the donor's own books -- the amount is counted as an
+        *orphaned release* and reconciled into the RRT when the donor
+        returns (:meth:`reconcile_orphaned_releases`), so a recovered
+        donor's advertised capacity does not leak.
+        """
         record = self.rat.release(allocation.record.allocation_id)
         agent = self._agents.get(record.donor)
         if agent is None:
+            self.orphaned_releases += 1
+            per_kind = self._orphaned.setdefault(record.donor, {})
+            per_kind[record.kind] = per_kind.get(record.kind, 0) + record.amount
             return
         if record.kind is ResourceKind.MEMORY:
             agent.handle_hot_add_back(record.amount)
@@ -399,3 +506,44 @@ class MonitorNode:
         elif record.kind is ResourceKind.NIC:
             agent.handle_nic_release()
         self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+
+    def orphaned_amount(self, node_id: int,
+                        kind: ResourceKind = ResourceKind.MEMORY) -> int:
+        """Released-but-unsettled amount owed to a currently-gone donor."""
+        return self._orphaned.get(node_id, {}).get(kind, 0)
+
+    def reconcile_orphaned_releases(self, node_id: int) -> int:
+        """Settle releases that arrived while the donor's agent was gone.
+
+        Called on the donor's recovery (``handle_node_recovery``) and on
+        re-registration: hot-adds the orphaned memory back into the
+        agent (capped at its outstanding donations -- a node that truly
+        rebooted has no donation ledger left to shrink) and returns the
+        granted accelerator/NIC units, then re-ingests the heartbeat so
+        the RRT advertises the reconciled capacity.  Returns the number
+        of settled orphan entries.
+        """
+        per_kind = self._orphaned.pop(node_id, None)
+        if per_kind is None:
+            return 0
+        agent = self._agents.get(node_id)
+        if agent is None:
+            # Recovery without an agent: keep the debt on the books.
+            self._orphaned[node_id] = per_kind
+            return 0
+        settled = 0
+        memory = min(per_kind.get(ResourceKind.MEMORY, 0), agent.donated_bytes)
+        if memory > 0:
+            agent.handle_hot_add_back(memory)
+            settled += 1
+        units = min(per_kind.get(ResourceKind.ACCELERATOR, 0),
+                    agent.accelerators_donated)
+        for _ in range(units):
+            agent.handle_accelerator_release()
+        settled += 1 if units else 0
+        units = min(per_kind.get(ResourceKind.NIC, 0), agent.nics_donated)
+        for _ in range(units):
+            agent.handle_nic_release()
+        settled += 1 if units else 0
+        self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+        return settled

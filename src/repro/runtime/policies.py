@@ -16,6 +16,11 @@ compare them:
   requester is already carrying allocated traffic, weighting distance
   by the number of existing allocations that share links with the
   candidate path.
+* :class:`ContentionAwarePolicy` -- the measured version of the above:
+  instead of *assuming* every allocation loads its path, it consumes
+  the event backend's per-link ``busy_fraction`` telemetry (via
+  :class:`FabricContentionTelemetry`) and steers donor choice away
+  from links that are actually saturated right now.
 
 Policies only *order* candidates; the Monitor Node still performs the
 stale-record handshake and retries down the ordered list.
@@ -23,7 +28,7 @@ stale-record handshake and retries down the ordered list.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.fabric.topology import Topology
 from repro.runtime.tables import (
@@ -121,10 +126,80 @@ class BandwidthAwarePolicy(DonorSelectionPolicy):
         return sorted(candidates, key=lambda record: (score(record), record.node_id))
 
 
+class FabricContentionTelemetry:
+    """Live per-link busy fractions read off the event fabric.
+
+    The event backend's :class:`~repro.fabric.phy.PhysicalLink` keeps a
+    busy-time counter per direction; this adapter exposes the hotter
+    direction of each unordered pair, which is what donor selection
+    cares about (a saturated down-link slows the borrow no matter which
+    way the request flowed).  Constructed from anything with a
+    ``links`` dict keyed by directed ``(src, dst)`` pairs -- the
+    :class:`~repro.core.system.EventFabric` -- or handed explicit
+    fractions (tests, closed-form sweeps).
+    """
+
+    def __init__(self, fabric=None,
+                 fractions: Optional[Dict[Tuple[int, int], float]] = None):
+        if fabric is None and fractions is None:
+            raise ValueError("telemetry needs a fabric or explicit fractions")
+        self._fabric = fabric
+        self._fractions = dict(fractions) if fractions is not None else None
+
+    def link_busy(self, node_a: int, node_b: int) -> float:
+        """Busy fraction of the hotter direction of one link (0.0 unknown)."""
+        key = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+        if self._fractions is not None:
+            return self._fractions.get(key, 0.0)
+        busy = 0.0
+        for direction in (key, (key[1], key[0])):
+            link = self._fabric.links.get(direction)
+            if link is not None:
+                busy = max(busy, link.busy_fraction())
+        return busy
+
+
+class ContentionAwarePolicy(DonorSelectionPolicy):
+    """Steer donor choice away from links that are *measured* saturated.
+
+    Scores each candidate as its hop count plus ``busy_weight`` times
+    the summed busy fraction of the links on its path, so a donor one
+    hop further away wins as soon as the nearer donor's path carries
+    more than ``1 / busy_weight`` of extra measured load.  With no
+    telemetry attached the busy term is zero and the ordering collapses
+    to :class:`DistanceFirstPolicy` -- the policy can be installed
+    before the fabric exists and wired up later.
+    """
+
+    name = "contention-aware"
+
+    def __init__(self, telemetry: Optional[FabricContentionTelemetry] = None,
+                 busy_weight: float = 8.0):
+        if busy_weight < 0:
+            raise ValueError("busy weight must be non-negative")
+        self.telemetry = telemetry
+        self.busy_weight = busy_weight
+
+    def order(self, requester, kind, candidates, topology, rat):
+        telemetry = self.telemetry
+
+        def score(record: ResourceRecord) -> float:
+            hops = topology.hop_count(requester, record.node_id)
+            if telemetry is None:
+                return float(hops)
+            path = topology.shortest_path(requester, record.node_id)
+            busy = sum(telemetry.link_busy(a, b)
+                       for a, b in zip(path, path[1:]))
+            return hops + self.busy_weight * busy
+
+        return sorted(candidates, key=lambda record: (score(record), record.node_id))
+
+
 #: Registry of the built-in policies, keyed by their public names.
 POLICIES = {
     policy.name: policy
-    for policy in (DistanceFirstPolicy, LoadBalancedPolicy, BandwidthAwarePolicy)
+    for policy in (DistanceFirstPolicy, LoadBalancedPolicy,
+                   BandwidthAwarePolicy, ContentionAwarePolicy)
 }
 
 

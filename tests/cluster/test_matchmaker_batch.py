@@ -10,7 +10,7 @@ access concurrently over the fleet fabric.
 import pytest
 
 from repro.cluster import Cluster, ClusterConfig
-from repro.runtime.monitor import AllocationError
+from repro.runtime.monitor import AllocationError, BatchPlanError
 
 MB = 1024 * 1024
 
@@ -44,13 +44,56 @@ def test_queue_validates_and_counts():
     assert all(len(entry.plan) == 1 for entry in entries)
 
 
-def test_plan_consumes_queue_even_on_failure():
+def test_plan_drops_only_the_failed_ticket_and_requeues_the_rest():
     cluster = Cluster(ClusterConfig(num_nodes=4, topology="star"))
     _limit_idle_memory(cluster, {n: 10 * MB for n in cluster.node_ids})
     cluster.monitor.queue_memory_request(0, 500 * MB)
     with pytest.raises(AllocationError):
         cluster.monitor.plan_queued_requests()
+    # The lone (failed) request is dropped; nothing remains queued.
     assert cluster.monitor.queued_requests == 0
+
+
+def test_mid_batch_failure_requeues_untouched_tickets():
+    # A shortfall halfway through the batch must not eat the whole
+    # queue: the failed ticket is dropped, everything else -- including
+    # already-planned earlier tickets, whose plans were never executed
+    # -- goes back in FIFO order, named in the BatchPlanError.
+    cluster = Cluster(ClusterConfig(num_nodes=4, topology="star"))
+    _limit_idle_memory(cluster, {n: 100 * MB for n in cluster.node_ids})
+    monitor = cluster.monitor
+    first = monitor.queue_memory_request(0, 50 * MB)
+    doomed = monitor.queue_memory_request(1, 500 * MB)
+    last = monitor.queue_memory_request(2, 50 * MB)
+    with pytest.raises(BatchPlanError) as excinfo:
+        monitor.plan_queued_requests()
+    error = excinfo.value
+    assert error.failed_ticket == doomed
+    assert error.failed_request.requester == 1
+    assert error.requeued_tickets == [first, last]
+    assert monitor.queued_requests == 2
+    # The survivors plan cleanly on retry, in their original order.
+    entries = monitor.plan_queued_requests()
+    assert [entry.ticket for entry in entries] == [first, last]
+
+
+def test_borrow_many_retires_requeued_tickets_on_failure():
+    # The matchmaker's atomic-batch contract: when its own batch dies
+    # mid-plan it retires exactly the tickets the BatchPlanError
+    # re-queued, leaving the queue clean for the next caller.
+    cluster = Cluster(ClusterConfig(num_nodes=4, topology="star"))
+    _limit_idle_memory(cluster, {n: 100 * MB for n in cluster.node_ids})
+    with pytest.raises(AllocationError):
+        cluster.matchmaker.borrow_many([(0, 50 * MB), (1, 500 * MB),
+                                        (2, 50 * MB)])
+    assert cluster.monitor.queued_requests == 0
+    assert cluster.matchmaker.shares == []
+    # A foreign parked request must survive someone else's failure.
+    foreign = cluster.monitor.queue_memory_request(3, 8 * MB)
+    with pytest.raises(AllocationError):
+        cluster.matchmaker.borrow_many([(0, 8 * MB)])
+    assert cluster.monitor.queued_requests == 1
+    assert cluster.monitor.plan_queued_requests()[0].ticket == foreign
 
 
 def test_batch_plan_never_double_books_a_donor():

@@ -159,3 +159,55 @@ def test_monitor_requests_handled_counter():
     monitor.request_memory(0, 1 * MB)
     monitor.request_accelerator(1)
     assert monitor.requests_handled == 2
+
+
+# ----------------------------------------------------------------------
+# Orphaned releases (donor agent gone at release time)
+# ----------------------------------------------------------------------
+def test_release_with_gone_donor_is_orphaned_not_dropped():
+    monitor = build_monitor()
+    allocation = monitor.request_memory(requester=0, size_bytes=256 * MB)
+    donor = allocation.donor
+    agent = monitor.agent(donor)
+    monitor.deregister_agent(donor)
+    monitor.release(allocation)
+    # The RAT record is settled but the donor's books could not be:
+    # the bytes are on the orphan ledger, not silently dropped.
+    assert monitor.rat.active() == []
+    assert monitor.orphaned_releases == 1
+    assert monitor.orphaned_amount(donor) == 256 * MB
+    assert agent.donated_bytes == 256 * MB
+    # Re-registration reconciles: the donor gets its bytes back and
+    # the orphan ledger drains.
+    monitor.register_agent(agent)
+    assert agent.donated_bytes == 0
+    assert monitor.orphaned_amount(donor) == 0
+    record = monitor.rrt.get(donor, ResourceKind.MEMORY)
+    assert record.available == agent.idle_memory_bytes()
+
+
+def test_orphan_reconciliation_caps_at_the_donation_ledger():
+    # A donor that truly rebooted has no donation ledger left: the
+    # orphaned bytes must not inflate its advertised capacity.
+    monitor = build_monitor()
+    allocation = monitor.request_memory(requester=0, size_bytes=128 * MB)
+    donor = allocation.donor
+    monitor.deregister_agent(donor)
+    monitor.release(allocation)
+    assert monitor.orphaned_amount(donor) == 128 * MB
+    fresh = NodeAgent(node_id=donor, memory_capacity_bytes=1 * GB,
+                      neighbors=tuple(build_mesh3d((2, 2, 2)).neighbors(donor)))
+    monitor.register_agent(fresh)
+    assert fresh.donated_bytes == 0
+    assert fresh.idle_memory_bytes() == 1 * GB
+    assert monitor.orphaned_amount(donor) == 0
+
+
+def test_reconcile_without_an_agent_keeps_the_debt():
+    monitor = build_monitor()
+    allocation = monitor.request_memory(requester=0, size_bytes=64 * MB)
+    donor = allocation.donor
+    monitor.deregister_agent(donor)
+    monitor.release(allocation)
+    assert monitor.reconcile_orphaned_releases(donor) == 0
+    assert monitor.orphaned_amount(donor) == 64 * MB

@@ -260,3 +260,75 @@ def _campaign_outcome(scheduler):
 
 def test_engine_stats_identical_across_timer_backends():
     assert _campaign_outcome("heap") == _campaign_outcome("calendar")
+
+
+# ----------------------------------------------------------------------
+# Monitor-shard crashes (mn_crash)
+# ----------------------------------------------------------------------
+def test_mn_crash_campaign_is_deterministic_and_covers_each_shard_once():
+    topology = build_fat_tree(16, leaf_radix=4, num_spines=2)
+    config = ChurnConfig(seed=11, mn_crashes=4, link_flaps=0,
+                         router_failures=0, node_crashes=0)
+    first = generate_campaign(config, topology, shard_ids=[0, 1, 2, 3])
+    second = generate_campaign(config, topology, shard_ids=[0, 1, 2, 3])
+    assert first == second
+    crashes = [event for event in first if event.kind is FaultKind.MN_CRASH]
+    assert len(crashes) == 4
+    # One crash per shard: no shard is double-crashed in one campaign.
+    assert sorted(shard for event in crashes
+                  for shard in event.target) == [0, 1, 2, 3]
+
+
+def test_mn_crash_requires_shard_ids():
+    topology = build_fat_tree(8, leaf_radix=4, num_spines=2)
+    config = ChurnConfig(seed=3, mn_crashes=2, link_flaps=0,
+                         router_failures=0, node_crashes=0)
+    # Without a sharded monitor there is nothing to crash.
+    campaign = generate_campaign(config, topology)
+    assert [e for e in campaign if e.kind is FaultKind.MN_CRASH] == []
+
+
+def test_churn_config_validates_mn_crash_down():
+    with pytest.raises(ValueError):
+        ChurnConfig(mn_crashes=-1)
+    with pytest.raises(ValueError):
+        ChurnConfig(mn_crashes=1, mn_crash_down_ns=0)
+
+
+def test_engine_crashes_promotes_and_rejoins_monitor_shards():
+    cluster = Cluster(ClusterConfig(
+        num_nodes=8, topology="fat_tree", monitor_shards=2,
+        transport_backend="event", scheduler=_scheduler()))
+    monitor = cluster.monitor
+    shares = [share for batch in cluster.matchmaker.borrow_many(
+        [(node, 1024 * 1024) for node in cluster.node_ids])
+        for share in batch]
+    config = ChurnConfig(seed=9, horizon_ns=3_000_000, link_flaps=0,
+                         router_failures=0, node_crashes=0,
+                         mn_crashes=2, mn_crash_down_ns=800_000)
+    engine = _engine(cluster, config)
+    engine.start()
+    sim = engine.sim
+    sim.run(until=6_000_000)
+    engine.stop()
+    sim.run_until_idle()
+    assert engine.mn_crashes_applied == 2
+    # Every crashed primary was detected by the pump and its standby
+    # promoted, with a measured (positive) failover latency.
+    assert sorted(engine.mn_failover_ns) == [0, 1]
+    assert all(latency > 0 for latency in engine.mn_failover_ns.values())
+    assert engine.mn_standbys_rejoined == 2
+    assert all(monitor.shard_alive(shard_id)
+               for shard_id in monitor.shard_ids)
+    assert all(monitor.has_standby(shard_id)
+               for shard_id in monitor.shard_ids)
+    # No allocation was lost across the failovers.
+    assert monitor.allocations_lost == 0
+    for share in reversed(shares):
+        cluster.matchmaker.release(share)
+    assert monitor.rat.active() == []
+    assert monitor.ledger_balanced()
+    stats = engine.stats_dict()
+    assert stats["mn_crashes_applied"] == 2
+    assert stats["mn_standbys_rejoined"] == 2
+    assert set(stats["mn_failover_ns"]) == {"0", "1"}

@@ -181,3 +181,28 @@ def test_node_recovery_reinstates_resources_and_rearms_detection():
     _silence(monitor, 3)
     plans = handler.check_heartbeats()
     assert [plan.event for plan in plans] == ["node3-failure"]
+
+
+def test_node_recovery_settles_orphaned_releases():
+    # A requester crash releases its grant while the donor's agent is
+    # gone (migrated off): the bytes land on the orphan ledger, and the
+    # donor's recovery through the fault handler settles them.
+    topology = build_mesh3d((2, 2, 2))
+    monitor = build_monitor(topology)
+    handler = FaultHandler(monitor, reallocate_on_node_failure=False)
+    allocation = monitor.request_memory(requester=0, size_bytes=256 * MB)
+    donor = allocation.donor
+    agent = monitor.agent(donor)
+    monitor.deregister_agent(donor)
+    handler.handle_node_failure(0)
+    assert monitor.rat.active() == []
+    assert monitor.orphaned_amount(donor) == 256 * MB
+    assert agent.donated_bytes == 256 * MB
+    # The donor reconnects (agent adopted for handshakes, no heartbeat
+    # yet); its recovery reconciles the debt and re-advertises.
+    monitor.adopt_agent(agent)
+    handler.handle_node_recovery(donor)
+    assert agent.donated_bytes == 0
+    assert monitor.orphaned_amount(donor) == 0
+    record = monitor.rrt.get(donor, ResourceKind.MEMORY)
+    assert record.available == agent.idle_memory_bytes()

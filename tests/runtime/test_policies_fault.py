@@ -155,3 +155,50 @@ def test_heartbeat_sweep_handles_dead_nodes():
     assert len(plans) == 1
     assert plans[0].event == "node7-failure"
     assert handler.events_handled == 1
+
+
+# ----------------------------------------------------------------------
+# Contention-aware policy
+# ----------------------------------------------------------------------
+def test_contention_aware_policy_avoids_measured_hot_links():
+    from repro.runtime.policies import (ContentionAwarePolicy,
+                                        FabricContentionTelemetry)
+    # Node 0's neighbours in the mesh are 1, 2 and 4 (all one hop).
+    # Saturate the links towards 1 and 2: the policy must prefer 4.
+    telemetry = FabricContentionTelemetry(fractions={
+        (0, 1): 0.9, (0, 2): 0.8})
+    monitor = build_monitor(policy=ContentionAwarePolicy(telemetry=telemetry))
+    allocation = monitor.request_memory(requester=0, size_bytes=64 * MB)
+    assert allocation.donor == 4
+
+
+def test_contention_aware_policy_falls_back_to_distance():
+    from repro.runtime.policies import ContentionAwarePolicy
+    # No telemetry wired: pure distance-first ordering (node-id ties).
+    monitor = build_monitor(policy=ContentionAwarePolicy())
+    allocation = monitor.request_memory(requester=0, size_bytes=64 * MB)
+    assert allocation.hops == 1
+    assert allocation.donor == 1
+
+
+def test_contention_aware_weight_validation_and_registry():
+    from repro.runtime.policies import (ContentionAwarePolicy, POLICIES,
+                                        make_policy)
+    with pytest.raises(ValueError):
+        ContentionAwarePolicy(busy_weight=-1)
+    assert "contention-aware" in POLICIES
+    assert isinstance(make_policy("contention-aware"), ContentionAwarePolicy)
+
+
+def test_contention_aware_policy_only_reorders_candidates():
+    from repro.runtime.policies import (ContentionAwarePolicy,
+                                        FabricContentionTelemetry)
+    topology = build_mesh3d((2, 2, 2))
+    monitor = build_monitor()
+    candidates = monitor._candidate_donors(0, ResourceKind.MEMORY, 64 * MB)
+    policy = ContentionAwarePolicy(
+        telemetry=FabricContentionTelemetry(fractions={(0, 1): 1.0}))
+    ordered = policy.order(0, ResourceKind.MEMORY, list(candidates),
+                           topology, monitor.rat)
+    assert sorted(record.node_id for record in ordered) == \
+        sorted(record.node_id for record in candidates)
