@@ -133,7 +133,7 @@ class Cluster:
         """True when this cluster's channels measure ops as packets."""
         return self.config.transport_backend == "event"
 
-    def event_transport(self) -> EventTransport:
+    def event_transport(self, parallel: int = 1) -> EventTransport:
         """The fleet-wide event-fabric executor every channel shares.
 
         Built lazily over the cluster's *full* topology (leaves, spines,
@@ -141,13 +141,18 @@ class Cluster:
         per-route :class:`~repro.core.channels.backend.EventBackend`
         this cluster hands out, so concurrent borrowers' measured
         packets genuinely queue behind each other on shared links.
+
+        ``parallel > 1`` splits the fabric into per-leaf partitions
+        synchronized by a conservative-lookahead barrier (see
+        :mod:`repro.sim.partition`); merged stats are byte-identical to
+        the single-simulator run.  The shape is fixed on first use.
         """
         if not self.event_backed:
             raise ValueError(
                 "this cluster costs transport through the closed forms; "
                 "build it with ClusterConfig(transport_backend='event') "
                 "to get a fleet-wide event transport")
-        return self.system.event_transport()
+        return self.system.event_transport(parallel=parallel)
 
     def cross_traffic(self, flows: Optional[List[Tuple[int, int]]] = None,
                       **kwargs) -> CrossTrafficDriver:

@@ -360,10 +360,15 @@ class EventTransport:
                 "survived a quiet drain (stale-handler leak)")
 
     def inject(self, packet: Packet) -> None:
-        """Hand a packet to its source node's switch."""
+        """Hand a packet to its source node's switch.
+
+        Routed through the fabric rather than the switch directly so a
+        partitioned fabric can defer injections that originate while a
+        foreign partition's clock is live (cross-traffic relaunches).
+        """
         if self._sanitize:
             self.packets_injected += 1
-        self.fabric.switches[packet.src].inject(packet)
+        self.fabric.inject(packet.src, packet)
 
     def check_packet_lifecycle(self) -> None:
         """Audit packet conservation; only meaningful on an idle fabric.

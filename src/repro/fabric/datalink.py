@@ -14,7 +14,11 @@ Hot-path design notes
 Both directions are event-equivalent callback chains; a clean packet
 costs two scheduled events at this layer (sender processing, receiver
 processing) plus an amortised fraction of one coalesced credit-return
-flush.  The sender takes its credit synchronously when one is available
+flush.  When the forward link is idle at enqueue time the sender
+processing event is *folded* into the serialization event (the
+busy-horizon fold, :meth:`PhysicalLink.reserve_fused_tx`): both delays
+are fixed at enqueue, so one fused event covers processing +
+serialization and the uncontended per-hop event count drops by one.  The sender takes its credit synchronously when one is available
 (:meth:`CreditPool.try_take`, no event allocated) and only joins the
 pool's waiter FIFO when stalled; the receiver serialises processing
 through a busy flag and a deque instead of a Store + drain process, so
@@ -166,7 +170,22 @@ class DataLink:
             packet.sequence = sequence = self._next_sequence
             self._next_sequence = sequence + 1
             self._pending_replay[sequence] = packet
-            self._call_after(self._processing_ns, self._sf_processed, packet)
+            # Busy-horizon fold: when the forward link is idle right
+            # now, processing + serialization are both fixed, so one
+            # fused event replaces the processing hand-off (see
+            # PhysicalLink.reserve_fused_tx).  The _tx_busy peek saves
+            # the guaranteed-to-fail reservation call on contended
+            # links, where this path runs once per packet.
+            link = self.forward_link
+            serialization = (None if link._tx_busy
+                             else link.reserve_fused_tx(packet))
+            if serialization is not None:
+                self._ctr_sent.value += 1
+                self._call_after(self._processing_ns + serialization,
+                                 link._tx_complete, packet)
+            else:
+                self._call_after(self._processing_ns, self._sf_processed,
+                                 packet)
         else:
             # Joins the FIFO behind every earlier taker and counts the
             # stall; _sf_pending pairs packets with grant callbacks in
@@ -180,7 +199,15 @@ class DataLink:
         packet.sequence = sequence = self._next_sequence
         self._next_sequence = sequence + 1
         self._pending_replay[sequence] = packet
-        self._call_after(self._processing_ns, self._sf_processed, packet)
+        link = self.forward_link
+        serialization = (None if link._tx_busy
+                         else link.reserve_fused_tx(packet))
+        if serialization is not None:
+            self._ctr_sent.value += 1
+            self._call_after(self._processing_ns + serialization,
+                             link._tx_complete, packet)
+        else:
+            self._call_after(self._processing_ns, self._sf_processed, packet)
 
     def _sf_processed(self, packet: Packet) -> None:
         pending = self.forward_link.offer(packet)

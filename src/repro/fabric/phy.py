@@ -16,7 +16,11 @@ packet's serialization at the same timestamp.  A packet therefore costs
 exactly two scheduled events on the link (serialization end, delivery)
 and zero allocations on the accepted path -- the acceptance
 :class:`SimEvent` is only materialised for blocked senders or for
-process-based callers of :meth:`send`.
+process-based callers of :meth:`send`.  When the link is idle the
+datalink layer goes one step further and folds its own processing delay
+into the serialization event via :meth:`PhysicalLink.reserve_fused_tx`
+(the busy-horizon fold), skipping the intermediate hand-off event
+entirely.
 """
 
 from __future__ import annotations
@@ -186,6 +190,34 @@ class PhysicalLink:
         event = SimEvent(self.sim, name=self._send_name)
         self._tx_waiters.append((packet, event))
         return event
+
+    def reserve_fused_tx(self, packet: Packet) -> Optional[int]:
+        """Reserve the idle serializer for a fused upstream event.
+
+        The busy-horizon fold: when the link is idle at enqueue time,
+        the upstream layer already knows the packet's full dwell time
+        (its own processing delay plus this link's serialization), so it
+        schedules **one** event straight to :meth:`_tx_complete` instead
+        of an intermediate hand-off event into :meth:`offer`.  This
+        method does the acceptance bookkeeping of that elided hop --
+        marks the serializer busy and accounts the offered/busy-time
+        counters -- and returns the serialization time to fold into the
+        caller's delay.  Returns ``None`` when the link is busy; the
+        caller then falls back to the two-event path.
+
+        Model note: the reservation starts at enqueue time, so another
+        sender offering during the upstream processing window queues
+        behind this packet instead of grabbing the serializer first.
+        Clean-path timing is identical; only contended interleavings at
+        that sub-window granularity shift (see benchmarks/README).
+        """
+        if self._tx_busy:
+            return None
+        self._tx_busy = True
+        self._ctr_offered.value += 1
+        serialization = self.config.serialization_ns(packet.wire_bytes)
+        self._ctr_busy_ns.value += serialization
+        return serialization
 
     def send(self, packet: Packet) -> SimEvent:
         """Enqueue a packet for transmission.

@@ -73,7 +73,7 @@ def test_mutation_backwards_clock_detected():
     assert sim.now == 100
     # Mutation: a corrupted component bypasses schedule() and plants a
     # raw timer entry behind the current clock.
-    heappush(sim._queue, [50, 10 ** 9, _noop, None, True])
+    heappush(sim._queue, [50, 10 ** 9, _noop, None, True, None])
     with pytest.raises(SanitizerError, match="backwards clock"):
         sim.run()
 
@@ -85,7 +85,7 @@ def test_unsanitized_run_misses_backwards_clock(monkeypatch):
     sim = Simulator(scheduler="heap")
     sim.call_after(100, _noop)
     sim.run()
-    heappush(sim._queue, [50, 10 ** 9, _noop, None, True])
+    heappush(sim._queue, [50, 10 ** 9, _noop, None, True, None])
     sim.run()
     # The clock silently jumped backwards -- the corruption the
     # sanitizer turns into a hard error.

@@ -1,0 +1,226 @@
+"""Per-delay-class FIFO timer lane tests.
+
+The lanes are a pure scheduling-structure optimization: dispatch order
+must be byte-identical to the un-laned heap/calendar queues.  The
+property tests below drive randomized schedule/cancel scripts through
+four configurations -- lanes on/off x heap/calendar -- and require the
+exact same dispatch trace from all of them (the un-laned heap is the
+reference semantics).
+"""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.sim.engine as engine
+from repro.sim.engine import Simulator
+
+
+def _run_script(script, scheduler, min_repeats, max_lanes):
+    """Execute a schedule/cancel script; return the dispatch trace.
+
+    Each script step is ``(delay, cancel_flag)``: a driver callback
+    schedules one payload callback with that delay (0 goes to the ready
+    deque), then -- when the flag is set -- cancels an earlier pending
+    handle.  The driver re-arms itself with a small fixed delay, so the
+    script itself exercises lane promotion once lanes are active.
+    """
+    saved = (engine._LANE_MIN_REPEATS, engine._LANE_MAX_LANES,
+             engine._LANE_MIN_DEPTH)
+    engine._LANE_MIN_REPEATS = min_repeats
+    engine._LANE_MAX_LANES = max_lanes
+    engine._LANE_MIN_DEPTH = 0  # arm heads regardless of backend depth
+    try:
+        sim = Simulator(scheduler=scheduler)
+        trace = []
+        handles = []
+
+        def payload(index):
+            trace.append((sim.now, index))
+
+        def driver(index):
+            if index >= len(script):
+                return
+            delay, do_cancel = script[index]
+            handles.append(sim.call_after(delay, payload, index))
+            if do_cancel and len(handles) >= 2:
+                sim.cancel(handles[len(handles) // 2])
+            sim.call_after(3, driver, index + 1)
+
+        sim.call_after(1, driver, 0)
+        sim.run_until_idle()
+        assert len(sim) == 0
+        return trace
+    finally:
+        (engine._LANE_MIN_REPEATS, engine._LANE_MAX_LANES,
+         engine._LANE_MIN_DEPTH) = saved
+
+
+_SCRIPT = st.lists(
+    st.tuples(st.sampled_from([0, 5, 5, 7, 7, 13, 64]), st.booleans()),
+    min_size=1, max_size=120)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_SCRIPT)
+def test_lanes_match_reference_heap_dispatch_order(script):
+    reference = _run_script(script, "heap", 10 ** 9, 0)  # lanes disabled
+    for scheduler in ("heap", "calendar"):
+        laned = _run_script(script, scheduler, 2, 8)
+        assert laned == reference
+
+
+@settings(max_examples=25, deadline=None)
+@given(_SCRIPT)
+def test_lane_cap_variations_do_not_change_order(script):
+    reference = _run_script(script, "heap", 10 ** 9, 0)
+    # One lane only: the other delay classes keep hitting the backend.
+    assert _run_script(script, "heap", 2, 1) == reference
+    # Immediate promotion threshold.
+    assert _run_script(script, "calendar", 1, 8) == reference
+
+
+def test_lane_forms_after_repeat_threshold(monkeypatch):
+    monkeypatch.setattr(engine, "_LANE_MIN_DEPTH", 0)
+    sim = Simulator(scheduler="heap")
+    fired = []
+    for _ in range(engine._LANE_MIN_REPEATS + 8):
+        sim.call_after(50, fired.append, None)
+    assert 50 in sim._lane_map
+    head_out, parked = sim._lane_map[50][1], len(sim._lane_map[50][0])
+    assert head_out and parked > 0
+    # Parked entries are invisible to the heap but counted by len().
+    assert len(sim) == engine._LANE_MIN_REPEATS + 8
+    assert len(sim._queue) == len(sim) - parked
+    sim.run_until_idle()
+    assert len(fired) == engine._LANE_MIN_REPEATS + 8
+    assert len(sim) == 0
+
+
+def test_lane_heads_stay_disarmed_on_a_shallow_backend():
+    """The depth gate: on a shallow queue the lane machinery never
+    engages -- no repeat tracking, no lane registration, no parking --
+    so every entry takes the plain backend path and the dispatch loop
+    does no promotion work."""
+    assert engine._LANE_MIN_DEPTH > 0
+    sim = Simulator(scheduler="heap")
+    fired = []
+    for _ in range(engine._LANE_MIN_REPEATS + 8):
+        sim.call_after(50, fired.append, None)
+    assert not sim._lane_map
+    assert not sim._lane_seen
+    assert sim._lane_count == 0
+    assert len(sim._queue) == len(sim)
+    sim.run_until_idle()
+    assert len(fired) == engine._LANE_MIN_REPEATS + 8
+
+
+def test_lane_arms_once_the_backend_is_deep():
+    sim = Simulator(scheduler="heap")
+    fired = []
+    # Deepen the backend past the gate with unrelated one-shot timers.
+    for index in range(engine._LANE_MIN_DEPTH + 1):
+        sim.schedule(10_000 + index, fired.append, None)
+    for _ in range(engine._LANE_MIN_REPEATS + 8):
+        sim.call_after(50, fired.append, None)
+    lane = sim._lane_map[50]
+    assert lane[1] and len(lane[0]) > 0
+    sim.run_until_idle()
+    assert len(fired) == engine._LANE_MIN_DEPTH + 1 + engine._LANE_MIN_REPEATS + 8
+    assert len(sim) == 0
+
+
+def test_unique_delays_never_get_lanes():
+    sim = Simulator(scheduler="heap")
+    for delay in range(1, 2 * engine._LANE_MIN_REPEATS):
+        sim.call_after(delay, lambda _: None)
+    assert not sim._lane_map
+    assert len(sim._lane_seen) <= engine._LANE_MAX_TRACKED
+
+
+def test_cancelling_parked_head_promotes_successor():
+    saved = engine._LANE_MIN_REPEATS, engine._LANE_MIN_DEPTH
+    engine._LANE_MIN_REPEATS = 1
+    engine._LANE_MIN_DEPTH = 0
+    try:
+        sim = Simulator(scheduler="heap")
+        fired = []
+        sim.call_after(10, fired.append, "warmup")  # counts the delay
+        head = sim.call_after(10, fired.append, "head")
+        successor = sim.call_after(10, fired.append, "successor")
+        lane = sim._lane_map[10]
+        assert head[engine._LANE] is lane
+        assert successor in lane[0]
+        sim.cancel(head)
+        # The successor took over the backend slot immediately.
+        assert successor[engine._LANE] is lane
+        assert not lane[0]
+        sim.run_until_idle()
+        assert fired == ["warmup", "successor"]
+        assert len(sim) == 0
+    finally:
+        engine._LANE_MIN_REPEATS, engine._LANE_MIN_DEPTH = saved
+
+
+def test_drain_cancelled_compacts_lane_deques():
+    saved = engine._LANE_MIN_REPEATS, engine._LANE_MIN_DEPTH
+    engine._LANE_MIN_REPEATS = 1
+    engine._LANE_MIN_DEPTH = 0
+    try:
+        sim = Simulator(scheduler="heap")
+        fired = []
+        sim.call_after(10, fired.append, 0)
+        handles = [sim.call_after(10, fired.append, i) for i in range(1, 40)]
+        for handle in handles[::2]:
+            sim.cancel(handle)
+        removed = sim.drain_cancelled()
+        assert removed == len(handles[::2])
+        assert sim._cancelled == 0
+        sim.run_until_idle()
+        assert fired == [0] + [i for i in range(1, 40) if i % 2 == 0]
+    finally:
+        engine._LANE_MIN_REPEATS, engine._LANE_MIN_DEPTH = saved
+
+
+def test_lane_entries_respect_run_until_deadline():
+    saved = engine._LANE_MIN_REPEATS, engine._LANE_MIN_DEPTH
+    engine._LANE_MIN_REPEATS = 1
+    engine._LANE_MIN_DEPTH = 0
+    try:
+        sim = Simulator(scheduler="heap")
+        fired = []
+
+        def rearm(value):
+            fired.append((sim.now, value))
+            sim.call_after(100, rearm, value + 1)
+
+        sim.call_after(100, rearm, 0)
+        sim.run(until=350)
+        assert fired == [(100, 0), (200, 1), (300, 2)]
+        assert sim.now == 350
+        # The parked continuation survives the barrier and resumes.
+        sim.run(until=500)
+        assert fired[-1] == (500, 4)
+    finally:
+        engine._LANE_MIN_REPEATS, engine._LANE_MIN_DEPTH = saved
+
+
+def test_interleaving_with_schedule_and_call_soon():
+    """Un-laned schedule() entries interleave correctly with lane traffic."""
+    saved = engine._LANE_MIN_REPEATS, engine._LANE_MIN_DEPTH
+    engine._LANE_MIN_REPEATS = 1
+    engine._LANE_MIN_DEPTH = 0
+    try:
+        for scheduler in ("heap", "calendar"):
+            sim = Simulator(scheduler=scheduler)
+            trace = []
+            sim.call_after(10, trace.append, "lane-warm")
+            sim.call_after(10, trace.append, "lane-a")
+            sim.schedule(10, trace.append, "plain-between")
+            sim.call_after(10, trace.append, "lane-b")
+            sim.run_until_idle()
+            # Global (time, seq) order: creation order at equal times.
+            assert trace == ["lane-warm", "lane-a", "plain-between", "lane-b"]
+    finally:
+        engine._LANE_MIN_REPEATS, engine._LANE_MIN_DEPTH = saved

@@ -1,0 +1,141 @@
+"""Partition-boundary edge cases: the lookahead barrier's sharp corners.
+
+Three hazards the conservative-lookahead protocol must handle exactly:
+a cross-partition effect landing precisely *on* the safe horizon,
+zero-delay events spawned at a barrier instant, and injections raised
+for a foreign partition while its clock is mid-window (the deferred
+record path).
+"""
+
+from repro.core.config import VeniceConfig
+from repro.fabric.packet import Packet, PacketKind
+from repro.fabric.topology import build_fat_tree
+from repro.sim.engine import Simulator
+from repro.sim.partition import PartitionedSim, build_partitioned_fabric
+
+
+def _fabric(num_nodes=16):
+    config = VeniceConfig(num_nodes=num_nodes, topology="fat_tree").fabric
+    return build_partitioned_fabric(config, build_fat_tree(num_nodes))
+
+
+def _monolithic(num_nodes=16):
+    from repro.core.system import VeniceSystem
+    system = VeniceSystem.build(VeniceConfig(num_nodes=num_nodes,
+                                             topology="fat_tree"))
+    return system.build_event_fabric(sim=Simulator())
+
+
+def test_effect_exactly_on_horizon_dispatches_at_correct_time():
+    # A boundary emission at the window's t_min lands exactly on the
+    # horizon H = t_min + L (every switch shares the 50 ns forwarding
+    # latency, so emit + fwd == H): the effect enters the receiver's
+    # ready queue at its aligned clock and must still dispatch at the
+    # correct simulated time, with the packet completing its route.
+    fabric = _fabric()
+    port = next(p for p in fabric.boundary_ports
+                if p.name.startswith("dl16->"))
+    spine = port.dst_node
+    assert fabric.lookahead_ns == fabric.switches[spine]._fwd_ns
+    packet = Packet(src=0, dst=12, kind=PacketKind.QPAIR_DATA,
+                    payload_bytes=64, created_at=1000)
+    arrivals = []
+    dst_switch = fabric.switches[12]
+    dst_switch.attach_local_sink(
+        lambda pkt, _sim=dst_switch.sim: arrivals.append(_sim.now))
+    port.sim.schedule_at(1000, port, packet)
+    runner = PartitionedSim(fabric)
+    runner.run_until_idle()
+
+    mono = _monolithic()
+    mono_arrivals = []
+    mono.switches[12].attach_local_sink(
+        lambda pkt: mono_arrivals.append(mono.sim.now))
+    mono_packet = Packet(src=0, dst=12, kind=PacketKind.QPAIR_DATA,
+                         payload_bytes=64, created_at=1000)
+    # The port call stands in for the moment the monolithic datalink
+    # would hand the packet to the spine switch.
+    mono.sim.schedule_at(1000, mono.switches[spine].inject, mono_packet)
+    mono.sim.run_until_idle()
+
+    assert arrivals == mono_arrivals
+    assert len(arrivals) == 1
+
+
+def test_zero_delay_events_at_a_barrier_instant_run_at_that_instant():
+    fabric = _fabric(num_nodes=8)
+    runner = PartitionedSim(fabric)
+    sim0 = fabric.sims[0]
+    trace = []
+
+    def spawn_zero_delay(tag):
+        trace.append((sim0.now, tag))
+        sim0.call_after(0, trace.append, (sim0.now, f"{tag}-child"))
+
+    # t_min = 100 makes the first horizon exactly 100 + L; the second
+    # event sits precisely on that barrier and spawns zero-delay work.
+    horizon = 100 + fabric.lookahead_ns
+    sim0.schedule_at(100, spawn_zero_delay, "window-min")
+    sim0.schedule_at(horizon, spawn_zero_delay, "on-barrier")
+    runner.run_until_idle()
+    assert trace == [(100, "window-min"), (100, ("window-min-child")),
+                     (horizon, "on-barrier"),
+                     (horizon, (f"on-barrier-child"))]
+    # Zero-delay children never leak across a barrier's simulated time.
+    assert all(sim.now == runner.now for sim in fabric.sims)
+
+
+def test_foreign_inject_mid_window_is_deferred_to_the_barrier():
+    # An event running inside partition 0's window injects at a switch
+    # owned by another partition (the cross-traffic relaunch shape).
+    # The injection must become a barrier record and still route at
+    # emit_time + forwarding latency.
+    fabric = _fabric()
+    runner = PartitionedSim(fabric)
+    foreign_leaf = 17  # leaf of nodes 4..7, partition 1
+    packet = Packet(src=4, dst=5, kind=PacketKind.QPAIR_DATA,
+                    payload_bytes=64, created_at=500)
+    arrivals = []
+    dst_switch = fabric.switches[5]
+    dst_switch.attach_local_sink(
+        lambda pkt, _sim=dst_switch.sim: arrivals.append(_sim.now))
+
+    observed = []
+
+    def inject_from_partition_zero():
+        runner.inject(foreign_leaf, packet)
+        observed.append(len(runner._pending))
+
+    fabric.sims[0].schedule_at(500, inject_from_partition_zero)
+    runner.run_until_idle()
+    assert observed == [1]  # really took the deferred-record path
+
+    mono = _monolithic()
+    mono_arrivals = []
+    mono.switches[5].attach_local_sink(
+        lambda pkt: mono_arrivals.append(mono.sim.now))
+    mono_packet = Packet(src=4, dst=5, kind=PacketKind.QPAIR_DATA,
+                         payload_bytes=64, created_at=500)
+    mono.sim.schedule_at(500, mono.switches[foreign_leaf].inject,
+                         mono_packet)
+    mono.sim.run_until_idle()
+    assert arrivals == mono_arrivals
+
+
+def test_facade_bookkeeping_spans_all_partitions():
+    fabric = _fabric(num_nodes=8)
+    runner = PartitionedSim(fabric)
+    for pid, sim in enumerate(fabric.sims):
+        sim.schedule_at(10 * (pid + 1), lambda: None)
+    assert len(runner) == len(fabric.sims)
+    handle = runner.call_after(5, lambda _: None, None)
+    assert len(runner) == len(fabric.sims) + 1
+    runner.cancel(handle)
+    assert runner.is_cancelled(handle)
+    runner.run_until_idle()
+    assert runner.events_processed == len(fabric.sims)
+    assert len(runner) == 0
+    # run(until=...) aligns every partition clock past the last event.
+    runner.run(until=10_000)
+    assert runner.now == 10_000
+    assert all(sim.now == 10_000 for sim in fabric.sims)
