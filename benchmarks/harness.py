@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass
@@ -100,6 +101,7 @@ class WorkloadResult:
     wall_s: float
     events_per_sec: float
     scheduler: str = "auto"
+    core: str = "py"
     mean_rtt_ns: Optional[float] = None
     sanitize: bool = False
     workers: Optional[int] = None
@@ -112,10 +114,12 @@ class WorkloadResult:
             "sim_ns": self.sim_ns,
             "wall_s": round(self.wall_s, 6),
             "events_per_sec": round(self.events_per_sec, 1),
-            # Provenance: which timer backend produced these numbers --
-            # per-backend throughput differs, so comparisons across
-            # backends must be detectable in the JSON.
+            # Provenance: which timer backend and dispatch core produced
+            # these numbers -- throughput differs per backend and per
+            # core, so cross-configuration comparisons must be
+            # detectable in the JSON.
             "scheduler": self.scheduler,
+            "core": self.core,
         }
         if self.mean_rtt_ns is not None:
             data["mean_rtt_ns"] = round(self.mean_rtt_ns, 1)
@@ -569,6 +573,18 @@ def build_parallel_spec(workload: str, packets_per_node: Optional[int] = None,
                               injections=tuple(injections))
 
 
+def _resolved_core(sanitize: Optional[bool]) -> str:
+    """The dispatch core a Simulator would resolve to right now.
+
+    Used for runs whose simulators live out of reach (partition
+    workers): same precedence as the Simulator itself -- ``SIM_CORE``
+    env, else auto, with sanitize forcing the Python engine.
+    """
+    from repro.sim import engine
+
+    return engine._resolve_core(None, sanitize)
+
+
 def run_workload(workload: str, packets_per_node: Optional[int] = None,
                  seed: int = 2016, scheduler: str = "auto",
                  sanitize: bool = False,
@@ -605,6 +621,7 @@ def run_workload(workload: str, packets_per_node: Optional[int] = None,
             wall_s=wall,
             events_per_sec=dump["events"] / wall if wall > 0 else 0.0,
             scheduler=scheduler,
+            core=_resolved_core(san),
             sanitize=bool(san),
             workers=workers,
         )
@@ -625,6 +642,7 @@ def run_workload(workload: str, packets_per_node: Optional[int] = None,
             wall_s=wall,
             events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
             scheduler=sim.scheduler,
+            core=sim.core,
             mean_rtt_ns=shard_driver.mean_rtt_ns,
             sanitize=sim.sanitize,
         )
@@ -645,6 +663,7 @@ def run_workload(workload: str, packets_per_node: Optional[int] = None,
             wall_s=wall,
             events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
             scheduler=sim.scheduler,
+            core=sim.core,
             mean_rtt_ns=churn_driver.mean_rtt_ns,
             sanitize=sim.sanitize,
         )
@@ -669,6 +688,7 @@ def run_workload(workload: str, packets_per_node: Optional[int] = None,
             wall_s=wall,
             events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
             scheduler=sim.scheduler,
+            core=sim.core,
             mean_rtt_ns=concurrent_driver.mean_rtt_ns,
             sanitize=sim.sanitize,
         )
@@ -692,6 +712,7 @@ def run_workload(workload: str, packets_per_node: Optional[int] = None,
             wall_s=wall,
             events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
             scheduler=sim.scheduler,
+            core=sim.core,
             mean_rtt_ns=channel_driver.mean_rtt_ns,
             sanitize=sim.sanitize,
         )
@@ -724,6 +745,7 @@ def run_workload(workload: str, packets_per_node: Optional[int] = None,
         wall_s=wall,
         events_per_sec=events / wall if wall > 0 else 0.0,
         scheduler=fabric.sim.scheduler,
+        core=fabric.sim.core,
         mean_rtt_ns=driver.mean_rtt_ns if driver is not None else None,
         sanitize=fabric.sim.sanitize,
     )
@@ -833,6 +855,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--scheduler", choices=("auto", "heap", "calendar"),
                         default="auto",
                         help="timer backend for the simulator (default: auto)")
+    parser.add_argument("--core", choices=("auto", "c", "py"), default=None,
+                        help="dispatch core: 'c' requires the compiled "
+                             "extension (repro.sim._ccore) and fails with a "
+                             "clear error when it cannot be built; 'auto' "
+                             "prefers it and falls back to 'py' silently. "
+                             "Default: leave SIM_CORE (or auto) in charge")
     parser.add_argument("--parallel", type=int, default=None, metavar="N",
                         help="worker processes for partitioned workloads "
                              "(parallel_fat_tree; 1 = in-process sequential "
@@ -855,6 +883,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "checks); results are stamped \"sanitize\": true "
                              "-- see benchmarks/README.md for the overhead")
     args = parser.parse_args(argv)
+
+    if args.core is not None:
+        if args.core == "c":
+            # Pre-flight instead of crashing mid-run: resolve (building
+            # on demand) once, and report why the extension is missing.
+            from repro.sim import engine as sim_engine
+
+            if sim_engine._load_ccore(build=True) is None:
+                reason = sim_engine._CCORE_STATE["error"] or "import failed"
+                print(f"error: --core c requested but the compiled dispatch "
+                      f"core is unavailable: {reason} (build it with "
+                      f"`python -m repro.sim._ccore_build`, or use --core "
+                      f"auto to fall back to the Python engine)",
+                      file=sys.stderr)
+                return 2
+        # Workloads build their simulators many layers down (and
+        # partition workers in other processes): the environment is the
+        # plumbing, exactly like SIM_SCHEDULER / SIM_SANITIZE.
+        os.environ["SIM_CORE"] = args.core
 
     if args.profile:
         profile_workloads(workloads=args.workload, scheduler=args.scheduler)

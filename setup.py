@@ -2,9 +2,26 @@
 
 The canonical project metadata lives in ``pyproject.toml``.  This shim
 exists so that ``pip install -e .`` works in offline environments that
-lack the ``wheel`` package required for PEP 660 editable installs.
+lack the ``wheel`` package required for PEP 660 editable installs, and
+it declares the optional compiled dispatch core so
+``python setup.py build_ext --inplace`` builds it the conventional way
+(``python -m repro.sim._ccore_build`` is the setuptools-free
+equivalent).
+
+The extension is strictly optional: when it fails to build (or was
+never built), ``Simulator(core="auto")`` runs the byte-identical
+pure-Python engine.  ``optional=True`` keeps source installs working on
+compiler-less hosts.
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
 
-setup()
+setup(
+    ext_modules=[
+        Extension(
+            "repro.sim._ccore",
+            sources=["src/repro/sim/_ccore.c"],
+            optional=True,
+        ),
+    ],
+)

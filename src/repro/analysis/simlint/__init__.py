@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.analysis.simlint src/ [--baseline simlint_baseline.json]
 
-The linter walks Python files, applies the SIM001..SIM006 rules (see
+The linter walks Python files, applies the SIM001..SIM007 rules (see
 :mod:`repro.analysis.simlint.rules`), drops findings suppressed in-line,
 and compares the rest against a committed baseline so pre-existing debt
 does not block CI while any *new* finding does.
@@ -43,13 +43,16 @@ def _suppressed_rules(line: str) -> frozenset:
                      if rule.strip())
 
 
-def _module_scopes(rel_posix: str) -> Tuple[bool, bool, bool]:
-    """(is_rng_module, hot_path_module, time_value_module) for a path."""
+def _module_scopes(rel_posix: str) -> Tuple[bool, bool, bool, bool]:
+    """(is_rng, hot_path, time_value, sim_module) scopes for a path."""
     parts = rel_posix.split("/")
     is_rng = rel_posix.endswith("sim/rng.py")
     hot = "sim" in parts or "fabric" in parts
     time_scoped = hot or "channels" in parts
-    return is_rng, hot, time_scoped
+    # Engine internals (SIM007) are fair game only for the engine's own
+    # package -- src/repro/sim/ and its mirror test tree tests/sim/.
+    sim_module = "sim" in parts
+    return is_rng, hot, time_scoped, sim_module
 
 
 def lint_source(source: str, path: str,
@@ -62,10 +65,11 @@ def lint_source(source: str, path: str,
         return [Finding(path=path, line=exc.lineno or 1, col=1,
                         rule="SIM000",
                         message=f"syntax error: {exc.msg}", line_text="")]
-    is_rng, hot, time_scoped = _module_scopes(rel)
+    is_rng, hot, time_scoped, sim_module = _module_scopes(rel)
     linter = ModuleLinter(path=path, source=source, tree=tree,
                           is_rng_module=is_rng, hot_path_module=hot,
-                          time_value_module=time_scoped)
+                          time_value_module=time_scoped,
+                          sim_module=sim_module)
     findings = linter.run()
     lines = source.splitlines()
     kept = []

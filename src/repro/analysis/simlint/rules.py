@@ -28,6 +28,13 @@ SIM005    Float arithmetic on ns-time values.  Simulated time is an
 SIM006    Add-only registry heuristic: an instance dict that gains keys
           but never loses them -- the shape of the PR 2
           ``replay_attempts_{seq}`` counter leak.
+SIM007    Direct access to ``Simulator`` dispatch internals
+          (``_queue``, ``_ready``, the lane/calendar state) outside
+          ``sim/``.  Those structures are an implementation detail of
+          the *Python* engine; the compiled core keeps its timers in C
+          storage, so outside pokes silently see an empty queue or
+          corrupt only one of the two engines.  Go through the public
+          API (``schedule``/``cancel``/``peek``/``step``/``len``).
 ========  ==============================================================
 
 All rules are heuristics tuned to this tree; per-line suppressions
@@ -71,6 +78,16 @@ CALLBACK_SINKS = ORDER_SENSITIVE_CALLS | frozenset({"add_waiter", "expect"})
 #: Modules whose import anywhere outside ``sim/rng.py`` is a
 #: determinism hazard (SIM002).
 NONDETERMINISTIC_MODULES = frozenset({"random", "time", "datetime"})
+
+#: ``Simulator`` dispatch-state attributes (timer heap, ready deque,
+#: FIFO-lane and calendar bookkeeping, and the C-core shadow).  Touching
+#: these from outside ``sim/`` couples callers to one engine's layout
+#: (SIM007 scope); names are specific enough that collisions with other
+#: classes' private state are unlikely.
+ENGINE_INTERNAL_ATTRS = frozenset({
+    "_queue", "_ready", "_lane_map", "_lane_seen", "_lane_count",
+    "_cal_buckets", "_cal_count", "_eng",
+})
 
 #: Base-class names that exempt a class from SIM004 (not hot-path
 #: instance state: enums, exceptions, typing constructs).
@@ -159,13 +176,14 @@ class ModuleLinter(ast.NodeVisitor):
 
     def __init__(self, path: str, source: str, tree: ast.Module,
                  is_rng_module: bool, hot_path_module: bool,
-                 time_value_module: bool):
+                 time_value_module: bool, sim_module: bool = False):
         self.path = path
         self.lines = source.splitlines()
         self.tree = tree
         self.is_rng_module = is_rng_module
         self.hot_path_module = hot_path_module
         self.time_value_module = time_value_module
+        self.sim_module = sim_module
         self.findings: List[Finding] = []
         self.order_sensitive = self._module_is_order_sensitive(tree)
         #: Stack of loop-target name sets for SIM003.
@@ -435,6 +453,24 @@ class ModuleLinter(ast.NodeVisitor):
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         self._check_ns_assignment(node, [node.target], node.value)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # SIM007 -- engine dispatch internals touched outside sim/
+    # ------------------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # ``self._queue`` is a class's own private state (any class may
+        # name an attribute that way); the hazard is reaching *into*
+        # another object's dispatch structures from outside sim/.
+        if (not self.sim_module
+                and node.attr in ENGINE_INTERNAL_ATTRS
+                and self._self_attr(node) is None):
+            self._report(
+                node, "SIM007",
+                f"direct access to engine internal .{node.attr} outside "
+                "sim/; the compiled core does not share the Python "
+                "engine's dispatch structures -- use the public API "
+                "(schedule/cancel/peek/step/len)")
         self.generic_visit(node)
 
     # ------------------------------------------------------------------

@@ -123,6 +123,12 @@ class Cluster:
         #: empty cache has len() == 0 and is falsy, so test for None.)
         self.latency_cache = (latency_cache if latency_cache is not None
                               else ClusterLatencyCache())
+        #: (src, dst) -> CachedFabricPath.  Paths are immutable shape
+        #: descriptors over a topology that is fixed once the cluster is
+        #: built, and the sharded-MN hot path builds a channel (hence a
+        #: path) per allocation -- memoizing skips the per-allocation
+        #: route-shape query and dataclass rebuilds.
+        self._paths: Dict[Tuple[int, int], CachedFabricPath] = {}  # simlint: disable=SIM006 -- bounded by node pairs, not traffic
         self.matchmaker = Matchmaker(self)
 
     # ------------------------------------------------------------------
@@ -229,17 +235,25 @@ class Cluster:
         answered at :func:`~repro.core.channels.path.size_class`
         granularity -- exact for power-of-two payloads (every channel's
         request/cacheline/chunk size), rounded up otherwise.
+
+        The returned path is memoized per (src, dst) -- callers share
+        one object and must treat it as read-only (every consumer in
+        the tree does; paths are value descriptors).
         """
-        base = self.system.path_between(src, dst, placement=self.config.placement)
-        return CachedFabricPath(
-            fabric=base.fabric,
-            hops=base.hops,
-            placement=base.placement,
-            external_router=(self.config.router
-                             if base.external_router is not None else None),
-            external_router_count=base.external_router_count,
-            cache=self.latency_cache,
-        )
+        path = self._paths.get((src, dst))
+        if path is None:
+            base = self.system.path_between(src, dst,
+                                            placement=self.config.placement)
+            path = self._paths[(src, dst)] = CachedFabricPath(
+                fabric=base.fabric,
+                hops=base.hops,
+                placement=base.placement,
+                external_router=(self.config.router
+                                 if base.external_router is not None else None),
+                external_router_count=base.external_router_count,
+                cache=self.latency_cache,
+            )
+        return path
 
     def crma_channel(self, recipient: int, donor: int) -> CrmaChannel:
         """CRMA channel from ``recipient`` towards ``donor``'s memory."""

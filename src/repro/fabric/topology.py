@@ -27,6 +27,21 @@ class Topology:  # simlint: disable=SIM004 -- built once per experiment, never t
     coordinates: Dict[int, Tuple[int, int, int]] = field(default_factory=dict)
     #: Nodes that are routers rather than compute nodes.
     router_nodes: List[int] = field(default_factory=list)
+    #: (src, dst) -> shortest path.  The runtime layer asks for the same
+    #: few routes on every request (policy ordering, path-usability
+    #: checks), and the graph is immutable once path queries begin --
+    #: builders finish the graph before returning, and fault injection
+    #: copies it before removing edges -- so the cache turns the
+    #: sharded-MN planning hot path's repeated BFS into dict hits.
+    #: Invalidation is keyed on the O(1) node count (edge counting walks
+    #: the adjacency in networkx, which would cost more than the BFS it
+    #: saves); code that adds an edge between *existing* nodes after
+    #: querying paths must call :meth:`invalidate_path_cache`.
+    _path_cache: Dict[Tuple[int, int], List[int]] = field(
+        default_factory=dict, repr=False, compare=False)
+    _hop_cache: Dict[Tuple[int, int], int] = field(
+        default_factory=dict, repr=False, compare=False)
+    _path_cache_stamp: int = field(default=-1, repr=False, compare=False)
 
     @property
     def nodes(self) -> List[int]:
@@ -48,18 +63,53 @@ class Topology:  # simlint: disable=SIM004 -- built once per experiment, never t
         """Number of fabric hops on the shortest path from src to dst."""
         if src == dst:
             return 0
-        return nx.shortest_path_length(self.graph, src, dst)
+        self._check_path_stamp()
+        hops = self._hop_cache.get((src, dst))
+        if hops is None:
+            hops = self._hop_cache[(src, dst)] = \
+                len(self._cached_path(src, dst)) - 1
+        return hops
+
+    def invalidate_path_cache(self) -> None:
+        """Drop memoized shortest paths after an in-place graph edit."""
+        self._path_cache.clear()
+        self._hop_cache.clear()
+        self._path_cache_stamp = -1
+
+    def _check_path_stamp(self) -> None:
+        stamp = self.graph.number_of_nodes()
+        if stamp != self._path_cache_stamp:
+            self._path_cache.clear()
+            self._hop_cache.clear()
+            self._path_cache_stamp = stamp
+
+    def _cached_path(self, src: int, dst: int) -> List[int]:
+        self._check_path_stamp()
+        path = self._path_cache.get((src, dst))
+        if path is None:
+            path = nx.shortest_path(self.graph, src, dst)
+            self._path_cache[(src, dst)] = path
+        return path
 
     def shortest_path(self, src: int, dst: int) -> List[int]:
         """Node sequence (inclusive) of the shortest path."""
-        return nx.shortest_path(self.graph, src, dst)
+        # Copy so callers may mutate their path without corrupting the
+        # cache; the copy is a few elements against a saved BFS.
+        return list(self._cached_path(src, dst))
+
+    def path_nodes(self, src: int, dst: int) -> List[int]:
+        """Like :meth:`shortest_path` but returns the cached list itself.
+
+        For per-request hot paths that only iterate: the caller must
+        treat the result as read-only (it is shared with the cache).
+        """
+        return self._cached_path(src, dst)
 
     def next_hop(self, src: int, dst: int) -> int:
         """First intermediate node on the path from src towards dst."""
         if src == dst:
             raise ValueError("next_hop undefined for src == dst")
-        path = self.shortest_path(src, dst)
-        return path[1]
+        return self._cached_path(src, dst)[1]
 
     def route_shape(self, src: int, dst: int) -> Tuple[int, int]:
         """(link count, router nodes crossed) of the shortest path.
@@ -70,7 +120,7 @@ class Topology:  # simlint: disable=SIM004 -- built once per experiment, never t
         """
         if src == dst:
             return 0, 0
-        path = self.shortest_path(src, dst)
+        path = self._cached_path(src, dst)
         routers = set(self.router_nodes)
         return len(path) - 1, sum(1 for node in path[1:-1] if node in routers)
 

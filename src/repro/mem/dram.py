@@ -43,13 +43,21 @@ class Dram:
         self.config = config or DramConfig()
         self.name = name
         self.stats = StatsRegistry(name)
+        # Lazily-bound counter handles: a Dram is built per CRMA channel
+        # (one per allocation on the sharded-MN path), so the counters
+        # keep their created-on-first-access semantics while repeat
+        # accesses skip the registry lookup.
+        self._ctr_accesses = self._ctr_bytes = None
 
     def access_latency_ns(self, size_bytes: int) -> int:
         """Latency of a demand access of ``size_bytes`` (cacheline fill)."""
         if size_bytes <= 0:
             raise ValueError(f"access size must be positive, got {size_bytes}")
-        self.stats.counter("accesses").increment()
-        self.stats.counter("bytes").increment(size_bytes)
+        if self._ctr_accesses is None:
+            self._ctr_accesses = self.stats.counter("accesses")
+            self._ctr_bytes = self.stats.counter("bytes")
+        self._ctr_accesses.increment()
+        self._ctr_bytes.increment(size_bytes)
         transfer_ns = int(size_bytes * 8 / self.config.bandwidth_gbps)
         return self.config.access_latency_ns + transfer_ns
 

@@ -57,6 +57,9 @@ class NodeAgent:
         self._link_status: Dict[int, LinkStatus] = {
             neighbor: LinkStatus.UP for neighbor in self.neighbors
         }
+        #: Memoized sorted (neighbor, status) pairs; link state changes
+        #: orders of magnitude less often than heartbeats read it.
+        self._link_reports: Optional[List[Tuple[int, LinkStatus]]] = None
 
     # ------------------------------------------------------------------
     # Local state updates
@@ -69,6 +72,7 @@ class NodeAgent:
 
     def set_link_status(self, neighbor: int, status: LinkStatus) -> None:
         self._link_status[neighbor] = status
+        self._link_reports = None
 
     # ------------------------------------------------------------------
     # Reporting
@@ -84,6 +88,22 @@ class NodeAgent:
 
     def idle_nics(self) -> int:
         return max(0, self.num_nics - self.nics_donated)
+
+    def link_reports(self) -> List[Tuple[int, LinkStatus]]:
+        """(neighbor, status) pairs in sorted-neighbor order.
+
+        The same deterministic fold order ``ingest_heartbeat`` imposes
+        on a report's link table; the fused agent-ingest path on the
+        Monitor Node reads this instead of building a report.  The list
+        is memoized until the next ``set_link_status``; callers must
+        not mutate it.
+        """
+        reports = self._link_reports
+        if reports is None:
+            status = self._link_status
+            reports = self._link_reports = [
+                (neighbor, status[neighbor]) for neighbor in sorted(status)]
+        return reports
 
     def heartbeat(self, now_ns: int) -> HeartbeatReport:
         """Build the periodic availability / link-status report."""

@@ -437,8 +437,7 @@ class ChurnEngine:
         for node_id in monitor.registered_nodes:
             if node_id in self._crashed:
                 continue
-            monitor.ingest_heartbeat(
-                monitor.agent(node_id).heartbeat(monitor.now_ns))
+            monitor.ingest_agent_heartbeat(monitor.agent(node_id))
         plans = self.fault_handler.check_heartbeats()
         for plan in plans:
             self.plans.append(plan)

@@ -252,7 +252,7 @@ class FaultHandler:
         self._known_dead.discard(node_id)
         agent = self.monitor.agent(node_id)
         self.monitor.reconcile_orphaned_releases(node_id)
-        self.monitor.ingest_heartbeat(agent.heartbeat(self.monitor.now_ns))
+        self.monitor.ingest_agent_heartbeat(agent)
 
     def check_heartbeats(self) -> List[RecoveryPlan]:
         """Sweep for dead nodes and handle each *new* failure.

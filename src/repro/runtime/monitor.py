@@ -96,6 +96,10 @@ class MonitorNode:
         self.rat = ResourceAllocationTable()
         self.tst = TopologyStatusTable()
         self._agents: Dict[int, NodeAgent] = {}  # simlint: disable=SIM006 -- bounded by fleet size, agents never deregister
+        #: node_id -> (rrt.version, memory/accelerator/nic records):
+        #: the fused heartbeat's per-node row cache, validated against
+        #: the RRT version so replaced records are never written stale.
+        self._beat_rows: Dict[int, tuple] = {}  # simlint: disable=SIM006 -- bounded by fleet size
         self.now_ns = 0
         self.requests_handled = 0
         self.handshake_retries = 0
@@ -114,7 +118,7 @@ class MonitorNode:
         """Register a node's agent and ingest an initial report."""
         self._agents[agent.node_id] = agent
         self.reconcile_orphaned_releases(agent.node_id)
-        self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+        self.ingest_agent_heartbeat(agent)
 
     def adopt_agent(self, agent: NodeAgent) -> None:
         """Track an agent for handshakes without ingesting its resources.
@@ -151,22 +155,121 @@ class MonitorNode:
             raise ValueError("time cannot move backwards")
         self.now_ns += delta_ns
 
+    def _fold_resource(self, node_id: int, kind: ResourceKind,
+                       capacity: int, available: int,
+                       timestamp_ns: int) -> None:
+        """Fold one (node, kind) availability row into the RRT.
+
+        Refreshes the existing record in place when possible:
+        replication ingests a heartbeat per commit/release, and
+        rebuilding three validated dataclasses per report dominated the
+        sharded-MN hot path.  Field-for-field identical to
+        re-registering (register() overwrote the row with a fresh
+        record, which also reset capabilities).
+        """
+        available = min(available, capacity)
+        record = self.rrt.get(node_id, kind)
+        if (record is not None and record.capacity == capacity
+                and available >= 0):
+            record.available = available
+            record.last_heartbeat_ns = timestamp_ns
+            record.capabilities = ""
+        else:
+            self.rrt.register(ResourceRecord(
+                node_id=node_id, kind=kind, capacity=capacity,
+                available=available, last_heartbeat_ns=timestamp_ns,
+            ))
+
     def ingest_heartbeat(self, report: HeartbeatReport) -> None:
         """Fold one heartbeat report into the RRT and TST."""
         for kind in ResourceKind:
-            capacity = report.capacity.get(kind, 0)
-            available = report.available.get(kind, 0)
-            self.rrt.register(ResourceRecord(
-                node_id=report.node_id, kind=kind, capacity=capacity,
-                available=min(available, capacity),
-                last_heartbeat_ns=report.timestamp_ns,
-            ))
+            self._fold_resource(report.node_id, kind,
+                                report.capacity.get(kind, 0),
+                                report.available.get(kind, 0),
+                                report.timestamp_ns)
         # Sorted neighbours: TST rows must be folded in an order that
         # does not depend on how the agent's link_status dict was built.
         for neighbor in sorted(report.link_status):
             self.tst.report(report.node_id, neighbor,
                             report.link_status[neighbor],
                             now_ns=report.timestamp_ns)
+
+    def ingest_agent_heartbeat(self, agent: NodeAgent,
+                               now_ns: Optional[int] = None) -> None:
+        """Fold an agent's current state straight into the RRT and TST.
+
+        Byte-identical to ``ingest_heartbeat(agent.heartbeat(now_ns))``
+        but skips materializing the :class:`HeartbeatReport` (two kind
+        dicts, a link-table copy and a dataclass per beat) -- the
+        replicated-commit path beats once per allocation, which made the
+        report itself a measurable share of the sharded-MN hot path.
+        ``now_ns`` stamps the beat; it defaults to this monitor's clock
+        (callers beating several replicas pass one shared timestamp).
+        """
+        if now_ns is None:
+            now_ns = self.now_ns
+        node_id = agent.node_id
+        rrt = self.rrt
+        cached = self._beat_rows.get(node_id)
+        if cached is not None and cached[0] == rrt.version:
+            # Row-cache fast path: the three records were looked up on a
+            # previous beat and no register() has replaced any RRT row
+            # since.  Idle amounts are computed inline (each is the
+            # agent's capacity minus non-negative commitments, so the
+            # [0, capacity] clamp of the report path is already
+            # satisfied) and the capacity recheck keeps the fold
+            # semantics if a capacity ever changed in place.
+            mem, acc, nic = cached[1], cached[2], cached[3]
+            available = (agent.memory_capacity_bytes
+                         - agent.local_memory_used_bytes
+                         - agent.donated_bytes - agent.reserve_bytes)
+            if available < 0:
+                available = 0
+            if (mem.capacity == agent.memory_capacity_bytes
+                    and acc.capacity == agent.num_accelerators
+                    and nic.capacity == agent.num_nics):
+                mem.available = available
+                mem.last_heartbeat_ns = now_ns
+                mem.capabilities = ""
+                available = agent.num_accelerators - agent.accelerators_donated
+                acc.available = available if available > 0 else 0
+                acc.last_heartbeat_ns = now_ns
+                acc.capabilities = ""
+                available = agent.num_nics - agent.nics_donated
+                nic.available = available if available > 0 else 0
+                nic.last_heartbeat_ns = now_ns
+                nic.capabilities = ""
+                for neighbor, status in agent.link_reports():
+                    self.tst.report(node_id, neighbor, status, now_ns=now_ns)
+                return
+        # The _fold_resource fast path, inlined: one beat per replicated
+        # commit/release makes even the three call frames per beat
+        # measurable.
+        rows = rrt.rows
+        for kind, capacity, available in (
+                (ResourceKind.MEMORY, agent.memory_capacity_bytes,
+                 agent.idle_memory_bytes()),
+                (ResourceKind.ACCELERATOR, agent.num_accelerators,
+                 agent.idle_accelerators()),
+                (ResourceKind.NIC, agent.num_nics, agent.idle_nics())):
+            if available > capacity:
+                available = capacity
+            record = rows.get((node_id, kind))
+            if (record is not None and record.capacity == capacity
+                    and available >= 0):
+                record.available = available
+                record.last_heartbeat_ns = now_ns
+                record.capabilities = ""
+            else:
+                self._fold_resource(node_id, kind, capacity, available,
+                                    now_ns)
+        mem = rows.get((node_id, ResourceKind.MEMORY))
+        acc = rows.get((node_id, ResourceKind.ACCELERATOR))
+        nic = rows.get((node_id, ResourceKind.NIC))
+        if mem is not None and acc is not None and nic is not None:
+            self._beat_rows[node_id] = (rrt.version, mem, acc, nic)
+        for neighbor, status in agent.link_reports():
+            self.tst.report(node_id, neighbor, status, now_ns=now_ns)
 
     def collect_heartbeats(self) -> None:
         """Poll every registered agent (one heartbeat round).
@@ -177,7 +280,7 @@ class MonitorNode:
         history.
         """
         for node_id in sorted(self._agents):
-            self.ingest_heartbeat(self._agents[node_id].heartbeat(self.now_ns))
+            self.ingest_agent_heartbeat(self._agents[node_id])
 
     def dead_nodes(self) -> List[int]:
         """Nodes whose heartbeats have stopped arriving."""
@@ -403,18 +506,17 @@ class MonitorNode:
     def _path_usable(self, requester: int, donor: int) -> bool:
         """True when every link on the path is reported usable (or unknown).
 
-        The TST keys links by the *unordered* node pair; the known-link
-        membership check must normalise the same way, or a DOWN report
-        would be ignored whenever the path traverses the link in the
-        opposite order to the stored key.  (`status()` defaults unknown
-        links to DOWN, hence the membership guard: only links somebody
-        actually reported may veto a path.)
+        The TST keys links by the *unordered* node pair;
+        ``reported_status`` normalises the same way, so a DOWN report
+        vetoes the path whichever direction traverses the link, while
+        unreported links (None) never veto -- only links somebody
+        actually reported may, unlike ``status()`` which defaults
+        unknown links to DOWN.
         """
-        path = self.topology.shortest_path(requester, donor)
-        known = {(a, b) for a, b, _ in self.tst.links()}
+        path = self.topology.path_nodes(requester, donor)
+        reported = self.tst.reported_status
         for node_a, node_b in zip(path, path[1:]):
-            key = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
-            if key in known and self.tst.status(node_a, node_b) is LinkStatus.DOWN:
+            if reported(node_a, node_b) is LinkStatus.DOWN:
                 return False
         return True
 
@@ -462,9 +564,9 @@ class MonitorNode:
             if not handshake(agent):
                 # Stale RRT record: refresh it and try the next donor.
                 self.handshake_retries += 1
-                self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+                self.ingest_agent_heartbeat(agent)
                 continue
-            self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+            self.ingest_agent_heartbeat(agent)
             allocation_record = self.rat.add(AllocationRecord(
                 requester=requester, donor=record.node_id, kind=kind,
                 amount=amount, created_at_ns=self.now_ns,
@@ -505,7 +607,7 @@ class MonitorNode:
             agent.handle_accelerator_release()
         elif record.kind is ResourceKind.NIC:
             agent.handle_nic_release()
-        self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+        self.ingest_agent_heartbeat(agent)
 
     def orphaned_amount(self, node_id: int,
                         kind: ResourceKind = ResourceKind.MEMORY) -> int:
@@ -545,5 +647,5 @@ class MonitorNode:
         for _ in range(units):
             agent.handle_nic_release()
         settled += 1 if units else 0
-        self.ingest_heartbeat(agent.heartbeat(self.now_ns))
+        self.ingest_agent_heartbeat(agent)
         return settled

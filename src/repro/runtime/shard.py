@@ -178,6 +178,19 @@ class MonitorShard:
         for monitor in self.replicas():
             monitor.ingest_heartbeat(report)
 
+    def ingest_agent_heartbeat(self, agent: NodeAgent,
+                               now_ns: Optional[int] = None) -> None:
+        """Report-free heartbeat fold into every live replica.
+
+        One shared timestamp across replicas, like the report path
+        (defaults to the primary-side clock of the first replica).
+        """
+        replicas = self.replicas()
+        if now_ns is None and replicas:
+            now_ns = replicas[0].now_ns
+        for monitor in replicas:
+            monitor.ingest_agent_heartbeat(agent, now_ns)
+
     def advance_time(self, delta_ns: int) -> None:
         for monitor in self.replicas():
             monitor.advance_time(delta_ns)
@@ -194,11 +207,19 @@ class MonitorShard:
     def _replicate_commit(self, allocation: Allocation) -> None:
         if self.standby is None:
             return
-        self.standby.rat.add(replace(allocation.record))
+        # Spelled-out copy instead of dataclasses.replace(): this runs
+        # once per commit and replace()'s field introspection showed up
+        # in the sharded-MN profile.
+        record = allocation.record
+        self.standby.rat.add(AllocationRecord(
+            requester=record.requester, donor=record.donor,
+            kind=record.kind, amount=record.amount,
+            allocation_id=record.allocation_id,
+            created_at_ns=record.created_at_ns,
+            released=record.released))
         member = self._members.get(allocation.donor)
         if member is not None:
-            self.standby.ingest_heartbeat(
-                member.heartbeat(self.standby.now_ns))
+            self.standby.ingest_agent_heartbeat(member)
         self.commits_replicated += 1
 
     def _replicate_release(self, allocation_id: int, donor: int) -> None:
@@ -210,8 +231,7 @@ class MonitorShard:
             pass
         member = self._members.get(donor)
         if member is not None:
-            self.standby.ingest_heartbeat(
-                member.heartbeat(self.standby.now_ns))
+            self.standby.ingest_agent_heartbeat(member)
         self.releases_replicated += 1
 
     def request_memory(self, requester: int, size_bytes: int,
@@ -829,11 +849,16 @@ class ShardedMonitor:
         self.coordinator.shard_for_node(report.node_id).ingest_heartbeat(
             report)
 
+    def ingest_agent_heartbeat(self, agent: NodeAgent,
+                               now_ns: Optional[int] = None) -> None:
+        self.coordinator.shard_for_node(agent.node_id).ingest_agent_heartbeat(
+            agent, self.now_ns if now_ns is None else now_ns)
+
     def collect_heartbeats(self) -> None:
         for node_id in self.registered_nodes:
             shard = self.coordinator.shard_for_node(node_id)
-            shard.ingest_heartbeat(
-                shard._members[node_id].heartbeat(self.now_ns))
+            shard.ingest_agent_heartbeat(shard._members[node_id],
+                                         self.now_ns)
 
     def dead_nodes(self) -> List[int]:
         dead: Set[int] = set()

@@ -48,21 +48,46 @@ class ResourceRegistrationTable:
 
     def __init__(self) -> None:
         self._records: Dict[Tuple[int, ResourceKind], ResourceRecord] = {}  # simlint: disable=SIM006 -- bounded by nodes x resource kinds
+        # Per-kind key order, rebuilt only when a *new* (node, kind) key
+        # appears.  Heartbeats refresh existing keys in place, so the
+        # planner's per-request records_of_kind() calls skip the full
+        # sort that used to dominate the sharded-MN hot path.
+        self._kind_keys: Optional[Dict[ResourceKind, List[Tuple[int, ResourceKind]]]] = None  # simlint: disable=SIM006 -- bounded by nodes x resource kinds
+        # Bumped on every register() (insert *or* replace).  Hot paths
+        # that cache record objects (the Monitor Node's fused heartbeat)
+        # key their cache on this, so a replaced record is never
+        # refreshed through a stale reference.
+        self.version = 0
 
     def register(self, record: ResourceRecord) -> None:
         """Insert or refresh the record for (node, kind)."""
-        self._records[(record.node_id, record.kind)] = record
+        key = (record.node_id, record.kind)
+        if key not in self._records:
+            self._kind_keys = None
+        self._records[key] = record
+        self.version += 1
 
     def get(self, node_id: int, kind: ResourceKind) -> Optional[ResourceRecord]:
         return self._records.get((node_id, kind))
+
+    @property
+    def rows(self) -> Dict[Tuple[int, ResourceKind], ResourceRecord]:
+        """The live (node, kind) -> record mapping, for read-mostly hot
+        paths that want one ``dict.get`` per probe.  Callers must not
+        add or remove keys directly -- inserting through anything but
+        :meth:`register` would bypass the per-kind order cache."""
+        return self._records
 
     def records_of_kind(self, kind: ResourceKind) -> List[ResourceRecord]:
         # Sorted by node id: this list seeds the donor-candidate order,
         # so ties in the selection policy must not be broken by the
         # registration history baked into dict insertion order.
-        return [self._records[key] for key in
-                sorted(self._records, key=lambda k: (k[0], k[1].value))
-                if key[1] == kind]
+        if self._kind_keys is None:
+            self._kind_keys = {}
+            for key in sorted(self._records, key=lambda k: (k[0], k[1].value)):
+                self._kind_keys.setdefault(key[1], []).append(key)
+        records = self._records
+        return [records[key] for key in self._kind_keys.get(kind, ())]
 
     def total_available(self, kind: ResourceKind) -> int:
         return sum(record.available for record in self.records_of_kind(kind))
@@ -104,20 +129,30 @@ class ResourceAllocationTable:
 
     def __init__(self) -> None:
         self._records: List[AllocationRecord] = []
+        # Insertion-ordered id -> record view of the not-yet-released
+        # records.  `released` is only ever flipped by release(), so the
+        # dict mirrors the filtered-list order exactly while making
+        # release() O(1) instead of a scan over every allocation the
+        # table has ever granted (the sharded-MN release hot path).
+        self._active_by_id: Dict[int, AllocationRecord] = {}  # simlint: disable=SIM006 -- bounded by concurrently active allocations
 
     def add(self, record: AllocationRecord) -> AllocationRecord:
         self._records.append(record)
+        # Allocation ids come from a process-wide counter, so collisions
+        # cannot happen; setdefault keeps first-match release semantics
+        # anyway should a caller ever hand-craft a duplicate id.
+        self._active_by_id.setdefault(record.allocation_id, record)
         return record
 
     def release(self, allocation_id: int) -> AllocationRecord:
-        for record in self._records:
-            if record.allocation_id == allocation_id and not record.released:
-                record.released = True
-                return record
-        raise KeyError(f"no active allocation with id {allocation_id}")
+        record = self._active_by_id.pop(allocation_id, None)
+        if record is None:
+            raise KeyError(f"no active allocation with id {allocation_id}")
+        record.released = True
+        return record
 
     def active(self) -> List[AllocationRecord]:
-        return [record for record in self._records if not record.released]
+        return list(self._active_by_id.values())
 
     def active_for_requester(self, requester: int) -> List[AllocationRecord]:
         return [record for record in self.active() if record.requester == requester]
@@ -157,6 +192,15 @@ class TopologyStatusTable:
 
     def status(self, node_a: int, node_b: int) -> LinkStatus:
         return self._status.get(self._key(node_a, node_b), LinkStatus.DOWN)
+
+    def reported_status(self, node_a: int, node_b: int) -> Optional[LinkStatus]:
+        """The reported status, or None when nobody reported this link.
+
+        One lookup replaces the ``status()``-plus-known-links pattern --
+        path checks that must ignore unreported links used to rebuild a
+        set of every known link per query.
+        """
+        return self._status.get(self._key(node_a, node_b))
 
     def is_usable(self, node_a: int, node_b: int) -> bool:
         return self.status(node_a, node_b) in (LinkStatus.UP, LinkStatus.DEGRADED)

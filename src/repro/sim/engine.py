@@ -71,7 +71,9 @@ same-timestamp callbacks without re-checking the deadline between them.
 
 from __future__ import annotations
 
+import importlib
 import os
+import warnings
 from bisect import insort
 from collections import deque
 from heapq import heapify, heappop, heappush
@@ -147,6 +149,113 @@ class SanitizerError(SimulationError):
     """
 
 
+# ----------------------------------------------------------------------
+# Compiled dispatch core (repro.sim._ccore) loading
+# ----------------------------------------------------------------------
+#: Loader memo: ``module`` is the imported extension (or None),
+#: ``checked`` marks that an import was attempted, ``error`` keeps the
+#: reason the compiled core is unavailable for the core="c" error
+#: message, ``warned`` dedupes the broken-extension warning.
+_CCORE_STATE = {"checked": False, "module": None, "error": None,
+                "warned": False}
+
+
+def _reset_ccore_state() -> None:
+    """Forget the cached ``_ccore`` import outcome (test hook)."""
+    _CCORE_STATE.update(checked=False, module=None, error=None, warned=False)
+
+
+def _load_ccore(build: bool = False):
+    """Import (optionally building) the compiled core, or return ``None``.
+
+    Fallback policy, mirroring the PR 9 fork-worker discipline:
+
+    * extension simply not built (``ModuleNotFoundError``) -- silent:
+      the pure-Python engine is a first-class peer, not a degraded mode;
+    * extension present but broken (ABI drift, truncated ``.so``) --
+      one ``RuntimeWarning`` per process, then the Python engine;
+    * ``build=True`` (an explicit ``core="c"`` request) additionally
+      attempts an on-demand gcc build first; build failures land in
+      ``_CCORE_STATE["error"]`` for the caller's error message.
+    """
+    state = _CCORE_STATE
+    if state["module"] is not None:
+        return state["module"]
+    if state["checked"] and not build:
+        return None
+    state["checked"] = True
+    if build:
+        try:
+            from repro.sim import _ccore_build
+            _ccore_build.ensure_built()
+        except Exception as error:  # CCoreBuildError or worse
+            state["error"] = str(error)
+    try:
+        # import_module, not ``from repro.sim import _ccore``: the
+        # from-import wraps a missing submodule in a plain ImportError
+        # ("cannot import name ..."), which would be indistinguishable
+        # from a *broken* extension; import_module keeps the
+        # ModuleNotFoundError that makes not-built silent.
+        _ccore = importlib.import_module("repro.sim._ccore")
+    except ModuleNotFoundError as error:
+        if state["error"] is None:
+            state["error"] = str(error)
+        return None
+    except Exception as error:
+        state["error"] = str(error)
+        if not state["warned"]:
+            state["warned"] = True
+            warnings.warn(
+                "repro.sim._ccore exists but failed to import "
+                f"({error}); using the pure-Python engine "
+                "(rebuild with `python -m repro.sim._ccore_build`)",
+                RuntimeWarning, stacklevel=3)
+        return None
+    version = getattr(_ccore, "CCORE_API_VERSION", None)
+    if version != 1:
+        state["error"] = f"ABI mismatch (CCORE_API_VERSION={version!r})"
+        if not state["warned"]:
+            state["warned"] = True
+            warnings.warn(
+                f"repro.sim._ccore has {state['error']}; using the "
+                "pure-Python engine (rebuild with "
+                "`python -m repro.sim._ccore_build`)",
+                RuntimeWarning, stacklevel=3)
+        return None
+    state["module"] = _ccore
+    state["error"] = None
+    return _ccore
+
+
+def _resolve_core(core: Optional[str], sanitize: Optional[bool]) -> str:
+    """Pick the dispatch core: ``"c"`` or ``"py"``.
+
+    Resolution order: explicit ``core=`` argument, then the ``SIM_CORE``
+    environment variable, then ``"auto"``.  The sanitizer always routes
+    through the instrumented Python loop -- its per-event invariant
+    checks live there -- so ``sanitize=True`` (or ``SIM_SANITIZE``)
+    forces ``"py"`` even under ``SIM_CORE=c``.
+    """
+    if core is None:
+        core = os.environ.get("SIM_CORE") or "auto"
+    if core not in ("auto", "c", "py"):
+        raise ValueError(f"unknown core {core!r} "
+                         "(expected 'auto', 'c' or 'py')")
+    if sanitize is None:
+        sanitize = os.environ.get("SIM_SANITIZE", "0") not in ("", "0")
+    if sanitize or core == "py":
+        return "py"
+    if _load_ccore(build=(core == "c")) is not None:
+        return "c"
+    if core == "c":
+        raise SimulationError(
+            "core='c' requested but the compiled dispatch core is "
+            f"unavailable: {_CCORE_STATE['error'] or 'import failed'} "
+            "(build it with `python -m repro.sim._ccore_build`, or use "
+            "core='auto' to fall back silently)")
+    return "py"
+
+
 class Simulator:
     """Event loop with an integer nanosecond clock.
 
@@ -174,6 +283,16 @@ class Simulator:
         environment variable (``"0"``/empty/unset means off).  When off,
         the fused dispatch loops run unchanged -- the sanitizer costs
         nothing when disabled.
+    core:
+        Dispatch core: ``"py"`` is this pure-Python engine, ``"c"`` the
+        compiled ``repro.sim._ccore`` extension (built on demand,
+        errors clearly when no compiler is available), ``"auto"`` picks
+        the compiled core when an already-built extension imports and
+        falls back silently otherwise.  ``None`` (default) reads the
+        ``SIM_CORE`` environment variable, defaulting to ``"auto"``.
+        Both cores dispatch in the identical total (time, seq) order,
+        so simulation results are byte-identical; ``sanitize=True``
+        always routes through the instrumented Python loop.
     """
 
     __slots__ = ("_now", "_seq", "_queue", "_ready", "_running",
@@ -184,9 +303,21 @@ class Simulator:
                  "_san_last_seq", "_san_trace", "_lane_map", "_lane_seen",
                  "_lane_count")
 
+    def __new__(cls, scheduler: str = "auto", calendar_bucket_ns: int = 128,
+                calendar_buckets: int = 8192,
+                sanitize: Optional[bool] = None,
+                core: Optional[str] = None) -> "Simulator":
+        # Factory: a plain ``Simulator(...)`` constructs the compiled-
+        # core subclass when core resolution picks "c".  Explicit
+        # subclasses (and _CSimulator itself) take the normal path.
+        if cls is Simulator and _resolve_core(core, sanitize) == "c":
+            return object.__new__(_CSimulator)
+        return object.__new__(cls)
+
     def __init__(self, scheduler: str = "auto", calendar_bucket_ns: int = 128,
                  calendar_buckets: int = 8192,
-                 sanitize: Optional[bool] = None) -> None:
+                 sanitize: Optional[bool] = None,
+                 core: Optional[str] = None) -> None:
         if scheduler not in ("auto", "heap", "calendar"):
             raise ValueError(f"unknown scheduler {scheduler!r} "
                              "(expected 'heap', 'calendar' or 'auto')")
@@ -258,6 +389,11 @@ class Simulator:
     def sanitize(self) -> bool:
         """Whether the runtime sanitizer is active on this simulator."""
         return self._sanitize
+
+    @property
+    def core(self) -> str:
+        """Dispatch core in use: ``"py"`` here, ``"c"`` on the subclass."""
+        return "py"
 
     def enable_dispatch_trace(self) -> List[Tuple[int, int, str]]:
         """Record every dispatch as ``(time, seq, callback qualname)``.
@@ -1021,3 +1157,104 @@ class Simulator:
     def run_until_idle(self, max_events: int = 50_000_000) -> int:
         """Run the simulation to completion with a livelock guard."""
         return self.run(max_events=max_events)
+
+
+class _CSimulator(Simulator):
+    """Compiled-core Simulator: same API, dispatch state in C.
+
+    Constructed by the :class:`Simulator` factory (``__new__``) when
+    core resolution picks ``"c"``; never instantiate directly.  The hot
+    entry points (``schedule``/``call_after``/``run``/...) are *slot*
+    names here: ``__init__`` stores the C engine's bound methods in the
+    instance slots, which shadow the parent's Python methods, so both
+    ``sim.call_after(...)`` and the components' cached
+    ``self._call_after = sim.call_after`` bindings call straight into C
+    with no Python trampoline frame.
+
+    Semantics parity with the Python engine (asserted by the
+    determinism and property suites):
+
+    * identical total (time, seq) dispatch order, timer-before-ready
+      rule included, so simulation results are byte-identical;
+    * identical error types and messages (the ``SimulationError`` class
+      is injected into the extension at construction);
+    * identical lazy-cancellation accounting, ``drain_cancelled``
+      return values, auto-drain thresholds, exact ``max_events``
+      budgets and ``run(until=...)`` end-of-run clock behaviour;
+    * ``scheduler``/``scheduler_policy`` report the same backend the
+      Python engine would pick (the deterministic auto-adoption scan is
+      mirrored), though the C core serves every backend from one packed
+      (time, seq) heap -- the calendar queue and FIFO lanes are
+      pure-Python *performance* structures with nothing left to buy at
+      C speed (see ``_ccore.c``).
+
+    Divergence, deliberate and loud: delays/times must be ints
+    (``__index__``); the compiled core raises ``TypeError`` where the
+    generic Python ``schedule()`` would silently truncate a float.
+    Handles are opaque ints rather than list objects -- valid for
+    :meth:`cancel`/:meth:`is_cancelled` exactly like the Python
+    engine's entry lists, which callers already treat as opaque.
+    """
+
+    __slots__ = ("_eng", "schedule", "schedule_at", "call_soon",
+                 "call_after", "cancel", "is_cancelled", "drain_cancelled",
+                 "peek", "step", "run")
+
+    def __init__(self, scheduler: str = "auto", calendar_bucket_ns: int = 128,
+                 calendar_buckets: int = 8192,
+                 sanitize: Optional[bool] = None,
+                 core: Optional[str] = None) -> None:
+        if scheduler not in ("auto", "heap", "calendar"):
+            raise ValueError(f"unknown scheduler {scheduler!r} "
+                             "(expected 'heap', 'calendar' or 'auto')")
+        if calendar_bucket_ns <= 0 or calendar_bucket_ns & (calendar_bucket_ns - 1):
+            raise ValueError("calendar_bucket_ns must be a positive power of two")
+        if calendar_buckets <= 0 or calendar_buckets & (calendar_buckets - 1):
+            raise ValueError("calendar_buckets must be a positive power of two")
+        ccore = _CCORE_STATE["module"]
+        if ccore is None:  # direct instantiation outside the factory
+            ccore = _load_ccore(build=True)
+            if ccore is None:
+                raise SimulationError(
+                    "compiled dispatch core unavailable: "
+                    f"{_CCORE_STATE['error'] or 'import failed'}")
+        policy_code = {"heap": 0, "calendar": 1, "auto": 2}[scheduler]
+        eng = ccore.Engine(SimulationError, policy_code, calendar_bucket_ns,
+                           1 if scheduler == "calendar" else 0)
+        self._eng = eng
+        self._policy = scheduler
+        self._sanitize = False
+        self.schedule = eng.schedule
+        self.schedule_at = eng.schedule_at
+        self.call_soon = eng.call_soon
+        self.call_after = eng.call_after
+        self.cancel = eng.cancel
+        self.is_cancelled = eng.is_cancelled
+        self.drain_cancelled = eng.drain_cancelled
+        self.peek = eng.peek
+        self.step = eng.step
+        self.run = eng.run
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._eng.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far (exact after run)."""
+        return self._eng.events_processed
+
+    @property
+    def scheduler(self) -> str:
+        """Timer backend currently reported (``"heap"`` or ``"calendar"``)."""
+        return "calendar" if self._eng.calendar_active else "heap"
+
+    @property
+    def core(self) -> str:
+        """Dispatch core in use."""
+        return "c"
+
+    def __len__(self) -> int:
+        """Pending queue entries, including not-yet-purged cancellations."""
+        return len(self._eng)

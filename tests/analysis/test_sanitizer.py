@@ -73,7 +73,7 @@ def test_mutation_backwards_clock_detected():
     assert sim.now == 100
     # Mutation: a corrupted component bypasses schedule() and plants a
     # raw timer entry behind the current clock.
-    heappush(sim._queue, [50, 10 ** 9, _noop, None, True, None])
+    heappush(sim._queue, [50, 10 ** 9, _noop, None, True, None])  # simlint: disable=SIM007 -- deliberate white-box corruption
     with pytest.raises(SanitizerError, match="backwards clock"):
         sim.run()
 
@@ -82,10 +82,12 @@ def test_unsanitized_run_misses_backwards_clock(monkeypatch):
     # The control: without the sanitizer the same corruption dispatches
     # silently -- which is exactly why the sanitizer exists.
     monkeypatch.delenv("SIM_SANITIZE", raising=False)
-    sim = Simulator(scheduler="heap")
+    # core="py": the corruption is planted by reaching into the Python
+    # engine's raw heap list, which the compiled core does not have.
+    sim = Simulator(scheduler="heap", core="py")
     sim.call_after(100, _noop)
     sim.run()
-    heappush(sim._queue, [50, 10 ** 9, _noop, None, True, None])
+    heappush(sim._queue, [50, 10 ** 9, _noop, None, True, None])  # simlint: disable=SIM007 -- deliberate white-box corruption
     sim.run()
     # The clock silently jumped backwards -- the corruption the
     # sanitizer turns into a hard error.

@@ -265,6 +265,69 @@ def test_sim006_pruned_dict_is_clean():
 
 
 # ----------------------------------------------------------------------
+# SIM007: engine dispatch internals touched outside sim/
+# ----------------------------------------------------------------------
+def test_sim007_flags_queue_access_outside_sim_tree():
+    findings = _lint("""
+        def drain_by_hand(sim):
+            while sim._queue:
+                sim._queue.pop()
+    """, rel_posix="src/repro/runtime/shard.py")
+    assert _rules(findings) == ["SIM007", "SIM007"]
+    assert "_queue" in findings[0].message
+
+
+def test_sim007_flags_lane_and_calendar_state():
+    findings = _lint("""
+        def snoop(sim):
+            return len(sim._lane_map) + len(sim._cal_buckets)
+    """, rel_posix="src/repro/fabric/router2.py")
+    assert _rules(findings) == ["SIM007", "SIM007"]
+
+
+def test_sim007_allows_engine_package_itself():
+    findings = _lint("""
+        def migrate(old, new):
+            new._queue = old._queue
+    """, rel_posix="src/repro/sim/engine2.py")
+    assert findings == []
+
+
+def test_sim007_allows_a_classs_own_private_state():
+    # ``self._queue`` is any class's own business -- the rule targets
+    # reaching into *another* object's dispatch structures.
+    findings = _lint("""
+        class Mailbox:
+            def __init__(self):
+                self._queue = []
+            def push(self, item):
+                self._queue.append(item)
+            def drain(self):
+                while self._queue:
+                    yield self._queue.pop()
+    """, rel_posix="src/repro/runtime/mailbox.py")
+    assert findings == []
+
+
+def test_sim007_public_api_is_clean():
+    findings = _lint("""
+        def drain(sim):
+            while sim.peek() is not None:
+                sim.step()
+            return sim.drain_cancelled()
+    """, rel_posix="src/repro/runtime/shard.py")
+    assert findings == []
+
+
+def test_sim007_suppression_is_honoured():
+    findings = _lint("""
+        def corrupt(sim, entry):
+            sim._queue.append(entry)  # simlint: disable=SIM007 -- white-box test
+    """, rel_posix="tests/analysis/helper.py")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 def test_inline_suppression_silences_named_rule():

@@ -71,3 +71,78 @@ def test_relay_between_two_nodes_via_uplinks(sim):
     # exceeds a single direct link traversal.
     direct = LinkConfig().packet_latency_ns(make_packet(dst=1).wire_bytes)
     assert sim.now > direct
+
+
+# ----------------------------------------------------------------------
+# Clean-hop fold (forwarding + downlink serialization in one event)
+# ----------------------------------------------------------------------
+def test_clean_hop_fold_costs_two_events_past_ingress(sim):
+    """Idle router + idle downlink: fused_complete -> deliver, nothing
+    else.  Counting the upstream delivery event that invoked receive(),
+    a clean hop through the router is 3 events (the unfused chain spent
+    a fourth on the _forward hand-off)."""
+    router = ExternalRouter(sim)
+    received = []
+    router.attach_node(1, received.append)
+    router.receive(make_packet(dst=1))
+    sim.run_until_idle()
+    assert received and sim.events_processed == 2
+    assert router.stats.counter("packets_forwarded").value == 1
+
+
+def test_fold_timing_matches_component_delays(sim):
+    config = RouterConfig()
+    router = ExternalRouter(sim, config)
+    arrivals = []
+    router.attach_node(1, lambda packet: arrivals.append(sim.now))
+    packet = make_packet(dst=1)
+    router.receive(packet)
+    sim.run_until_idle()
+    link = config.link
+    expected = (config.forwarding_latency_ns
+                + link.serialization_ns(packet.wire_bytes)
+                + link.phy_latency_ns + link.extra_delay_ns)
+    assert arrivals == [expected]
+
+
+def test_busy_pipeline_keeps_unfused_chain_and_order(sim):
+    """The second of two back-to-back packets finds the pipeline busy:
+    it queues and takes the two-event _forward chain (5 events total
+    for the pair: 2 fused + ingress _forward + _tx_complete +
+    _deliver)."""
+    router = ExternalRouter(sim)
+    received = []
+    router.attach_node(1, received.append)
+    first, second = make_packet(dst=1), make_packet(dst=1)
+    router.receive(first)
+    router.receive(second)
+    sim.run_until_idle()
+    assert received == [first, second]
+    assert sim.events_processed == 5
+    assert router.stats.counter("packets_forwarded").value == 2
+
+
+def test_fold_settles_downlink_counters_at_enqueue(sim):
+    router = ExternalRouter(sim)
+    router.attach_node(1, lambda packet: None)
+    packet = make_packet(dst=1)
+    router.receive(packet)
+    # The reservation accounts the offer and busy time synchronously,
+    # exactly like the unfused offer() would have.
+    downlink = router._downlinks[1]
+    serialization = downlink.config.serialization_ns(packet.wire_bytes)
+    assert downlink.stats.counter("packets_offered").value == 1
+    assert downlink.stats.counter("busy_ns").value == serialization
+    sim.run_until_idle()
+    assert downlink.stats.counter("packets_sent").value == 1
+
+
+def test_unroutable_packet_still_takes_forward_chain(sim):
+    router = ExternalRouter(sim)
+    router.attach_node(1, lambda packet: None)
+    router.receive(make_packet(dst=9))
+    sim.run_until_idle()
+    # No downlink to fold into: the packet pays the _forward event and
+    # is counted unroutable there.
+    assert router.stats.counter("packets_unroutable").value == 1
+    assert sim.events_processed == 1

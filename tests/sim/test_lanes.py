@@ -6,6 +6,10 @@ property tests below drive randomized schedule/cancel scripts through
 four configurations -- lanes on/off x heap/calendar -- and require the
 exact same dispatch trace from all of them (the un-laned heap is the
 reference semantics).
+
+Every simulator here pins ``core="py"``: lanes (and the ``_lane_map``
+internals these tests inspect) exist only in the pure-Python engine --
+the compiled core's packed heap has no use for them (see ``_ccore.c``).
 """
 
 from collections import deque
@@ -32,7 +36,7 @@ def _run_script(script, scheduler, min_repeats, max_lanes):
     engine._LANE_MAX_LANES = max_lanes
     engine._LANE_MIN_DEPTH = 0  # arm heads regardless of backend depth
     try:
-        sim = Simulator(scheduler=scheduler)
+        sim = Simulator(scheduler=scheduler, core="py")
         trace = []
         handles = []
 
@@ -83,7 +87,7 @@ def test_lane_cap_variations_do_not_change_order(script):
 
 def test_lane_forms_after_repeat_threshold(monkeypatch):
     monkeypatch.setattr(engine, "_LANE_MIN_DEPTH", 0)
-    sim = Simulator(scheduler="heap")
+    sim = Simulator(scheduler="heap", core="py")
     fired = []
     for _ in range(engine._LANE_MIN_REPEATS + 8):
         sim.call_after(50, fired.append, None)
@@ -104,7 +108,7 @@ def test_lane_heads_stay_disarmed_on_a_shallow_backend():
     so every entry takes the plain backend path and the dispatch loop
     does no promotion work."""
     assert engine._LANE_MIN_DEPTH > 0
-    sim = Simulator(scheduler="heap")
+    sim = Simulator(scheduler="heap", core="py")
     fired = []
     for _ in range(engine._LANE_MIN_REPEATS + 8):
         sim.call_after(50, fired.append, None)
@@ -117,7 +121,7 @@ def test_lane_heads_stay_disarmed_on_a_shallow_backend():
 
 
 def test_lane_arms_once_the_backend_is_deep():
-    sim = Simulator(scheduler="heap")
+    sim = Simulator(scheduler="heap", core="py")
     fired = []
     # Deepen the backend past the gate with unrelated one-shot timers.
     for index in range(engine._LANE_MIN_DEPTH + 1):
@@ -132,7 +136,7 @@ def test_lane_arms_once_the_backend_is_deep():
 
 
 def test_unique_delays_never_get_lanes():
-    sim = Simulator(scheduler="heap")
+    sim = Simulator(scheduler="heap", core="py")
     for delay in range(1, 2 * engine._LANE_MIN_REPEATS):
         sim.call_after(delay, lambda _: None)
     assert not sim._lane_map
@@ -144,7 +148,7 @@ def test_cancelling_parked_head_promotes_successor():
     engine._LANE_MIN_REPEATS = 1
     engine._LANE_MIN_DEPTH = 0
     try:
-        sim = Simulator(scheduler="heap")
+        sim = Simulator(scheduler="heap", core="py")
         fired = []
         sim.call_after(10, fired.append, "warmup")  # counts the delay
         head = sim.call_after(10, fired.append, "head")
@@ -168,7 +172,7 @@ def test_drain_cancelled_compacts_lane_deques():
     engine._LANE_MIN_REPEATS = 1
     engine._LANE_MIN_DEPTH = 0
     try:
-        sim = Simulator(scheduler="heap")
+        sim = Simulator(scheduler="heap", core="py")
         fired = []
         sim.call_after(10, fired.append, 0)
         handles = [sim.call_after(10, fired.append, i) for i in range(1, 40)]
@@ -188,7 +192,7 @@ def test_lane_entries_respect_run_until_deadline():
     engine._LANE_MIN_REPEATS = 1
     engine._LANE_MIN_DEPTH = 0
     try:
-        sim = Simulator(scheduler="heap")
+        sim = Simulator(scheduler="heap", core="py")
         fired = []
 
         def rearm(value):
@@ -213,7 +217,7 @@ def test_interleaving_with_schedule_and_call_soon():
     engine._LANE_MIN_DEPTH = 0
     try:
         for scheduler in ("heap", "calendar"):
-            sim = Simulator(scheduler=scheduler)
+            sim = Simulator(scheduler=scheduler, core="py")
             trace = []
             sim.call_after(10, trace.append, "lane-warm")
             sim.call_after(10, trace.append, "lane-a")
